@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the whole
+evaluation section.  Experiments are deterministic simulations; each is
+run once per benchmark round.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return its
+    result (the experiments are deterministic; repeated rounds only
+    re-measure harness time)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

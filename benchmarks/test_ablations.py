@@ -1,0 +1,138 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation turns OFF one mechanism from §4 and measures what it was
+buying — the quantitative version of the paper's design arguments.
+"""
+
+from dataclasses import replace
+
+from repro.cloud.instances import EC2
+from repro.perf.costs import CostModel
+from repro.platforms import DockerPlatform, XContainerPlatform
+from repro.workloads.base import ServerModel
+from repro.workloads.profiles import MEMCACHED
+from repro.workloads.unixbench import build_syscall_bench
+
+
+def test_ablation_abom_conversion(once):
+    """§4.4: what does converting syscalls into function calls buy?
+
+    ABOM off leaves every syscall on the (already cheap) forwarded path;
+    ABOM on converts them.  The delta is the paper's headline mechanism.
+    """
+
+    def run():
+        binary = build_syscall_bench(800)
+        with_abom = XContainerPlatform(abom_enabled=True).run_binary(binary)
+        without = XContainerPlatform(abom_enabled=False).run_binary(binary)
+        return without.elapsed_ns / with_abom.elapsed_ns
+
+    speedup = once(run)
+    print(f"\nABOM on vs off: {speedup:.1f}x faster syscall loop")
+    assert 3.0 < speedup < 15.0
+
+
+def test_ablation_global_bit(once):
+    """§4.3: the global bit on LibOS mappings spares the kernel-range
+    TLB refill on intra-container switches."""
+    from repro.guest.sched import RunQueue
+
+    def run():
+        costs = CostModel()
+        with_global = RunQueue(costs, global_kernel_mappings=True)
+        without = RunQueue(costs, global_kernel_mappings=False)
+        return (
+            without.switch_cost_ns(4) - with_global.switch_cost_ns(4),
+            with_global.switch_cost_ns(4),
+        )
+
+    saved_ns, base_ns = once(run)
+    print(f"\nglobal bit saves {saved_ns:.0f} ns per intra-container "
+          f"switch (base {base_ns:.0f} ns)")
+    assert saved_ns == CostModel().tlb_kernel_refill_ns
+
+
+def test_ablation_kernel_dedication(once):
+    """§3.2: how much of the macro win comes from the dedicated, tuned
+    X-LibOS rather than from syscall conversion?"""
+
+    def run():
+        tuned_costs = CostModel()
+        # Ablate the tuning: the X-LibOS behaves like a shared kernel.
+        untuned_costs = replace(
+            tuned_costs, xlibos_efficiency=1.0
+        )
+        tuned = ServerModel(XContainerPlatform(tuned_costs), EC2)
+        untuned = ServerModel(XContainerPlatform(untuned_costs), EC2)
+        docker = ServerModel(DockerPlatform(tuned_costs), EC2)
+        base = docker.per_request_ns(MEMCACHED)
+        return (
+            base / tuned.per_request_ns(MEMCACHED),
+            base / untuned.per_request_ns(MEMCACHED),
+        )
+
+    tuned_ratio, untuned_ratio = once(run)
+    print(f"\nmemcached vs Docker: {tuned_ratio:.2f}x tuned, "
+          f"{untuned_ratio:.2f}x with dedication ablated")
+    assert tuned_ratio > untuned_ratio > 1.0
+
+
+def test_ablation_meltdown_patch(once):
+    """§5.1: the KPTI tax on kernel-crossing platforms — and its absence
+    on X-Containers."""
+
+    def run():
+        binary = build_syscall_bench(800)
+        docker_p = DockerPlatform(patched=True).run_binary(binary)
+        docker_u = DockerPlatform(patched=False).run_binary(binary)
+        x_p = XContainerPlatform(patched=True).run_binary(binary)
+        x_u = XContainerPlatform(patched=False).run_binary(binary)
+        return (
+            docker_p.elapsed_ns / docker_u.elapsed_ns,
+            x_p.elapsed_ns / x_u.elapsed_ns,
+        )
+
+    docker_tax, x_tax = once(run)
+    print(f"\nKPTI tax on the syscall loop: Docker {docker_tax:.1f}x, "
+          f"X-Container {x_tax:.2f}x")
+    assert docker_tax > 4.0
+    assert 0.99 < x_tax < 1.01
+
+
+def test_ablation_hierarchical_scheduling(once):
+    """§5.6: flat 4N-process scheduling vs N vCPUs × 4 processes at
+    N = 400."""
+    from repro.experiments.fig8_scalability import (
+        docker_throughput,
+        xcontainer_throughput,
+    )
+    from repro.cloud.instances import LOCAL_CLUSTER
+
+    def run():
+        costs = LOCAL_CLUSTER.costs()
+        return (
+            docker_throughput(400, costs),
+            xcontainer_throughput(400, costs),
+        )
+
+    flat, hierarchical = once(run)
+    print(f"\nN=400: flat scheduling {flat:,.0f} rps, hierarchical "
+          f"{hierarchical:,.0f} rps")
+    assert hierarchical > flat
+
+
+def test_ablation_lightvm_toolstack(once):
+    """§4.5: what the LightVM toolstack would buy X-Containers."""
+    from repro.core import DockerImage, DockerWrapper
+
+    def run():
+        stock = DockerWrapper()
+        _, slow = stock.spawn(DockerImage("bash"))
+        fast_wrapper = DockerWrapper(fast_toolstack=True)
+        _, fast = fast_wrapper.spawn(DockerImage("bash"))
+        return slow.total_ms, fast.total_ms
+
+    slow_ms, fast_ms = once(run)
+    print(f"\nspawn: {slow_ms:.0f} ms stock xl vs {fast_ms:.0f} ms "
+          "LightVM-style")
+    assert slow_ms / fast_ms > 10

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 3 (macrobenchmarks, EC2 + GCE, 10 configs)."""
+
+from repro.experiments import fig3_macro
+
+
+def test_fig3_macrobenchmarks(once):
+    throughput, latency = once(fig3_macro.run)
+    print()
+    print(throughput.format_table())
+    print()
+    print(latency.format_table())
+    # Headline shapes.
+    assert throughput.value("x-container", "amazon/memcached") > 2.0
+    assert 1.1 < throughput.value("x-container", "amazon/nginx") < 1.6
+    assert throughput.value("gvisor", "google/memcached") < 0.4
+    assert latency.value("gvisor", "google/memcached") > 2.0

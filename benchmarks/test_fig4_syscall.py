@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 4 (relative syscall throughput, 4 panels).
+
+This one executes real machine code: the UnixBench System Call loop runs
+on the CPU interpreter through each configuration's syscall path, with
+real ABOM patching for the X-Container rows.
+"""
+
+from repro.experiments import fig4_syscall
+
+
+def test_fig4_syscall_throughput(once):
+    result = once(fig4_syscall.run)
+    print()
+    print(result.format_table())
+    best = max(result.value("x-container", c) for c in result.columns)
+    assert best > 20  # "up to 27x" (§5.4)
+    for column in result.columns:
+        assert 0.05 <= result.value("gvisor", column) <= 0.11  # 7-9 %

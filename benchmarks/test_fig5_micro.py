@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 5 (UnixBench microbenchmarks + iperf)."""
+
+from repro.experiments import fig5_micro
+
+
+def test_fig5_microbenchmarks(once):
+    panels = once(fig5_micro.run)
+    print()
+    for panel in panels:
+        print(panel.format_table())
+        print()
+    single = panels[0]  # EC2, single
+    # §5.4: X wins the syscall-bound benches, loses process lifecycle.
+    assert single.value("x-container", "file_copy") > 1.5
+    assert single.value("x-container", "pipe_throughput") > 1.5
+    assert single.value("x-container", "process_creation") < (
+        single.value("docker-unpatched", "process_creation")
+    )
+    assert 0.8 < single.value("x-container", "iperf") < 1.3

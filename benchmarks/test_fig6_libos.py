@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 6 (Graphene / Unikernel / X-Container)."""
+
+from repro.experiments import fig6_libos
+
+
+def test_fig6_libos_comparison(once):
+    panels = once(fig6_libos.run)
+    print()
+    by_id = {}
+    for panel in panels:
+        print(panel.format_table())
+        print()
+        by_id[panel.experiment] = panel
+    a, b, c = by_id["fig6a"], by_id["fig6b"], by_id["fig6c"]
+    assert a.value("X", "throughput_rps") > 1.7 * a.value(
+        "G", "throughput_rps"
+    )
+    assert b.value("X", "throughput_rps") > 1.5 * b.value(
+        "G", "throughput_rps"
+    )
+    assert c.value("X", "dedicated&merged") > 2.5 * c.value(
+        "U", "dedicated"
+    )

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 8 (scalability to 400 containers)."""
+
+from repro.experiments import fig8_scalability
+
+
+def test_fig8_scalability(once):
+    result = once(fig8_scalability.run)
+    print()
+    print(result.format_table())
+    # Crossover: Docker wins at 100, X wins at 400 by ~18 %.
+    assert result.value("100", "docker") > result.value(
+        "100", "x-container"
+    )
+    ratio = result.value("400", "x-container") / result.value(
+        "400", "docker"
+    )
+    assert 1.1 < ratio < 1.3
+    assert result.value("300", "xen-pv") is None
+    assert result.value("250", "xen-hvm") is None

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 9 (kernel-level load balancing)."""
+
+from repro.experiments import fig9_lb
+
+
+def test_fig9_load_balancing(once):
+    result = once(fig9_lb.run)
+    print()
+    print(result.format_table())
+    values = [row.values["throughput_rps"] for row in result.rows]
+    assert values == sorted(values)  # the Fig 9 ladder
+    docker, hap, nat, dr = values
+    assert 1.7 < hap / docker < 2.4  # "twice the throughput"
+    assert 1.05 < nat / hap < 1.35  # "+12%"
+    assert 2.0 < dr / nat < 3.0  # "another factor of 2.5"

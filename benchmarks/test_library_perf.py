@@ -1,0 +1,100 @@
+"""Library performance benchmarks (real wall time, multiple rounds).
+
+Unlike the figure benchmarks — which regenerate *simulated* results once —
+these measure the library's own speed: interpreter throughput, ABOM patch
+rate, and the functional HTTP stack.  Useful for catching performance
+regressions in the reproduction itself.
+"""
+
+from repro.arch import Assembler, CPU, PagedMemory, Reg
+from repro.arch.memory import PageFlags
+from repro.core import CountingServices, XContainer
+from repro.core.abom import ABOM
+from repro.guest.kernel import GuestKernel
+from repro.guest.socket import VirtualNetwork
+from repro.workloads.http import HttpClient, StaticHttpServer
+
+
+def test_interpreter_instruction_rate(benchmark):
+    """Plain instruction dispatch, no syscalls."""
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, 2000)
+    asm.label("loop")
+    asm.inc(Reg.RAX)
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    binary = asm.build()
+    memory = PagedMemory()
+    binary.load(memory)
+    memory.map_region(0x7F0000, 0x1000, PageFlags.USER | PageFlags.WRITABLE)
+
+    def run():
+        cpu = CPU(memory)
+        cpu.regs.rip = binary.entry
+        cpu.regs.rsp = 0x7F0F00
+        cpu.run()
+        return cpu.instructions_retired
+
+    retired = benchmark(run)
+    assert retired > 6000
+
+
+def test_abom_patch_rate(benchmark):
+    """Patching throughput over fresh sites each round."""
+    def run():
+        memory = PagedMemory()
+        memory.map_region(
+            0x400000, 0x10000, PageFlags.USER | PageFlags.EXECUTABLE
+        )
+        memory.wp_enabled = False
+        for index in range(100):
+            addr = 0x400000 + index * 16
+            memory.write(
+                addr, b"\xb8" + (index % 200).to_bytes(4, "little")
+                + b"\x0f\x05"
+            )
+        memory.wp_enabled = True
+        abom = ABOM(memory)
+        for index in range(100):
+            assert abom.try_patch(0x400000 + index * 16 + 5)
+        return abom.stats.total_patches
+
+    patches = benchmark(run)
+    assert patches == 100
+
+
+def test_syscall_dispatch_rate(benchmark):
+    """Full converted-syscall round trips through the LibOS stub."""
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, 500)
+    asm.label("loop")
+    asm.syscall_site(39)
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    binary = asm.build()
+
+    def run():
+        xc = XContainer(CountingServices())
+        xc.run(binary)
+        return xc.libos.stats.total_syscalls
+
+    total = benchmark(run)
+    assert total == 500
+
+
+def test_functional_http_request_rate(benchmark):
+    """Whole-stack request: connect, parse, serve from RamFS, respond."""
+    network = VirtualNetwork()
+    server = StaticHttpServer(GuestKernel(), network)
+    server.publish("/page", b"x" * 2048)
+    client = HttpClient(GuestKernel(), network, server.handle_one)
+
+    def run():
+        status, body = client.get(("10.0.0.1", 80), "/page")
+        assert status == 200
+        return len(body)
+
+    size = benchmark(run)
+    assert size == 2048

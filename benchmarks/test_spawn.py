@@ -1,0 +1,14 @@
+"""Bench: regenerate the §4.5 spawn-time numbers."""
+
+from repro.experiments import spawn
+
+
+def test_spawn_times(once):
+    result = once(spawn.run)
+    print()
+    print(result.format_table())
+    xl = result.value("x-container (xl toolstack)", "total_ms")
+    assert 2900 < xl < 3100  # "~3 seconds"
+    assert result.value("x-container (xl toolstack)", "boot_ms") == 180.0
+    light = result.value("x-container (lightvm toolstack)", "total_ms")
+    assert light < 200

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 1 (ABOM syscall reduction, 12 applications)."""
+
+from repro.experiments import table1
+
+
+def test_table1_abom_reduction(once):
+    result = once(table1.run)
+    print()
+    print(result.format_table())
+    # Every measured value must equal the paper's column (Table 1 is the
+    # one artifact we reproduce exactly, not just in shape).
+    for row in result.rows:
+        assert row.values["measured"] == row.values["paper"], row.label
+    assert result.value("mysql", "measured-offline") == "92.2%"

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scale-out scenario: hundreds of microservice pods on one machine.
+
+The Fig 8 experiment as a downstream user would run it: sweep the number
+of NGINX+PHP-FPM containers on one 16-core host and compare flat
+scheduling (Docker: one kernel, 4N processes) against hierarchical
+scheduling (X-Containers: N vCPUs × 4 processes), plus ordinary Xen VMs —
+including their §5.6 boot limits.
+
+Run: ``python examples/scale_out.py``
+"""
+
+from repro.experiments.fig8_scalability import (
+    N_VALUES,
+    XEN_HVM_MAX,
+    XEN_PV_MAX,
+    curve,
+)
+
+
+def spark(value: float | None, scale: float) -> str:
+    if value is None:
+        return ""
+    return "#" * max(1, int(value / scale))
+
+
+def main() -> None:
+    curves = {
+        name: {p.n: p.throughput_rps for p in curve(name)}
+        for name in ("docker", "x-container", "xen-pv", "xen-hvm")
+    }
+    peak = max(
+        v for series in curves.values() for v in series.values() if v
+    )
+    scale = peak / 40
+
+    for name, series in curves.items():
+        print(f"--- {name} ---")
+        for n in N_VALUES:
+            value = series[n]
+            label = f"{value:10,.0f}" if value is not None else (
+                "     (would not boot)"
+            )
+            print(f"  N={n:3d} {label} {spark(value, scale)}")
+        print()
+
+    docker_400 = curves["docker"][400]
+    x_400 = curves["x-container"][400]
+    print(
+        f"At N=400: X-Containers {x_400:,.0f} req/s vs Docker "
+        f"{docker_400:,.0f} req/s -> {x_400 / docker_400 - 1:+.0%} "
+        '(§5.6: "+18%")'
+    )
+    print(
+        f"Xen PV stopped booting past {XEN_PV_MAX} instances, HVM past "
+        f"{XEN_HVM_MAX} (§5.6)"
+    )
+
+
+if __name__ == "__main__":
+    main()

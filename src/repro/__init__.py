@@ -1,0 +1,76 @@
+"""repro — a Python reproduction of *X-Containers: Breaking Down Barriers
+to Improve Performance and Isolation of Cloud-Native Containers*
+(Shen et al., ASPLOS 2019).
+
+The package implements the paper's platform over simulated substrates:
+
+* :mod:`repro.arch` — a byte-accurate x86-64 subset (assembler, decoder,
+  CPU interpreter) over which the binary-patching contribution runs;
+* :mod:`repro.core` — the X-Kernel, X-LibOS, vsyscall entry table, the
+  ABOM online binary optimizer, and the offline patching tool;
+* :mod:`repro.xen` / :mod:`repro.guest` — the Xen PV and Linux guest
+  kernel substrates;
+* :mod:`repro.platforms` — models of every comparison runtime (Docker,
+  gVisor, Clear Containers, Xen-Containers, Graphene, Unikernel);
+* :mod:`repro.workloads`, :mod:`repro.lb`, :mod:`repro.cloud` — the
+  evaluation workloads, load balancers, and testbeds;
+* :mod:`repro.experiments` — one module per table/figure in §5.
+
+Quick start::
+
+    from repro import XContainer, CountingServices, Assembler, Reg
+
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, 1000)
+    asm.label("loop")
+    asm.syscall_site(39, style="mov_eax", symbol="getpid")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+
+    xc = XContainer(CountingServices(results={39: 42}))
+    xc.run(asm.build())
+    print(xc.syscall_reduction())   # ~0.999: ABOM converted the site
+"""
+
+from repro.arch import Assembler, Binary, CPU, PagedMemory, Reg
+from repro.core import (
+    ABOM,
+    CountingServices,
+    DockerImage,
+    DockerWrapper,
+    OfflinePatcher,
+    XContainer,
+    XKernel,
+    XLibOS,
+)
+from repro.guest import GuestKernel, KernelConfig
+from repro.perf import CostModel, SimClock
+from repro.platforms import get_platform, platform_names
+from repro.xen import XenHypervisor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "Binary",
+    "CPU",
+    "PagedMemory",
+    "Reg",
+    "ABOM",
+    "CountingServices",
+    "DockerImage",
+    "DockerWrapper",
+    "OfflinePatcher",
+    "XContainer",
+    "XKernel",
+    "XLibOS",
+    "GuestKernel",
+    "KernelConfig",
+    "CostModel",
+    "SimClock",
+    "get_platform",
+    "platform_names",
+    "XenHypervisor",
+    "__version__",
+]

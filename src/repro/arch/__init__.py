@@ -1,0 +1,45 @@
+"""Byte-accurate x86-64 subset substrate.
+
+The paper's Automatic Binary Optimization Module (ABOM, §4.4) is a byte-level
+rewriter: it recognizes ``mov``+``syscall`` encodings, overwrites them with
+``callq *abs32`` using ≤8-byte atomic compare-exchange, and relies on an
+invalid-opcode fixup for jumps into the middle of a patch.  Reproducing it
+faithfully requires real machine code, so this package provides:
+
+* :mod:`repro.arch.registers` — the x86-64 integer register file;
+* :mod:`repro.arch.memory` — 4 KiB-paged memory with permission bits;
+* :mod:`repro.arch.encoding` — encoder/decoder for the instruction subset;
+* :mod:`repro.arch.assembler` — a two-pass mini assembler with labels;
+* :mod:`repro.arch.cpu` — an interpreter with traps and native-stub hooks;
+* :mod:`repro.arch.binary` — program images with syscall-site metadata.
+"""
+
+from repro.arch.registers import Reg, RegisterFile
+from repro.arch.memory import PagedMemory, PageFlags, PageFault
+from repro.arch.encoding import Instruction, decode, InvalidOpcode
+from repro.arch.assembler import Assembler
+from repro.arch.cpu import CPU, Trap, TrapKind, CpuHalted
+from repro.arch.binary import Binary, SyscallSite, SitePattern
+from repro.arch.disasm import disassemble, disassemble_memory, format_listing
+
+__all__ = [
+    "Reg",
+    "RegisterFile",
+    "PagedMemory",
+    "PageFlags",
+    "PageFault",
+    "Instruction",
+    "decode",
+    "InvalidOpcode",
+    "Assembler",
+    "CPU",
+    "Trap",
+    "TrapKind",
+    "CpuHalted",
+    "Binary",
+    "SyscallSite",
+    "SitePattern",
+    "disassemble",
+    "disassemble_memory",
+    "format_listing",
+]

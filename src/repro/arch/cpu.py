@@ -1,0 +1,283 @@
+"""CPU interpreter for the x86-64 subset.
+
+The interpreter executes real machine code from :class:`PagedMemory` and
+delivers traps (``syscall``, #UD, #BP, page faults) to a pluggable trap
+handler — in this reproduction the trap handler is the platform's kernel
+model (host Linux, stock Xen PV, the X-Kernel, the gVisor Sentry, ...).
+
+Two hooks make the LibOS integration possible without writing the whole
+LibOS in machine code:
+
+* **trap handler** — invoked with a :class:`Trap`; it may mutate CPU state
+  (deliver the syscall, fix RIP after a #UD in a patched call tail, ...);
+* **native stubs** — addresses that, when reached by RIP, invoke a Python
+  callable instead of fetching code.  The X-LibOS maps its syscall-entry
+  stubs (the targets of the vsyscall entry table) this way.  A stub is
+  responsible for its own ``ret`` semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.arch.encoding import Instruction, InvalidOpcode, decode
+from repro.arch.memory import PagedMemory
+from repro.arch.registers import Reg, RegisterFile, to_signed64
+
+MASK64 = (1 << 64) - 1
+MAX_INSTR_LEN = 15
+
+
+class TrapKind(enum.Enum):
+    SYSCALL = "syscall"
+    INVALID_OPCODE = "invalid_opcode"
+    BREAKPOINT = "breakpoint"
+    PAGE_FAULT = "page_fault"
+
+
+class Trap(Exception):
+    """An architectural trap delivered to the platform's kernel model."""
+
+    def __init__(self, kind: TrapKind, rip: int, detail: str = "") -> None:
+        super().__init__(f"{kind.value} at {rip:#x} {detail}".strip())
+        self.kind = kind
+        self.rip = rip
+        self.detail = detail
+
+
+class CpuHalted(Exception):
+    """Raised by :meth:`CPU.run` when the program halts (hlt / exit)."""
+
+
+TrapHandler = Callable[["CPU", Trap], None]
+NativeStub = Callable[["CPU"], None]
+
+
+class CPU:
+    """Interprets the instruction subset over paged memory."""
+
+    def __init__(
+        self,
+        memory: PagedMemory,
+        clock=None,
+        instruction_ns: float = 0.0,
+    ) -> None:
+        self.mem = memory
+        self.regs = RegisterFile()
+        self.clock = clock
+        self.instruction_ns = instruction_ns
+        self.trap_handler: Optional[TrapHandler] = None
+        self.native_stubs: dict[int, NativeStub] = {}
+        self.instructions_retired = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    # Stack helpers
+    # ------------------------------------------------------------------
+    def push64(self, value: int) -> None:
+        self.regs.rsp = (self.regs.rsp - 8) & MASK64
+        self.mem.write_u64(self.regs.rsp, value)
+
+    def pop64(self) -> int:
+        value = self.mem.read_u64(self.regs.rsp)
+        self.regs.rsp = (self.regs.rsp + 8) & MASK64
+        return value
+
+    # ------------------------------------------------------------------
+    # Fetch/decode
+    # ------------------------------------------------------------------
+    def _fetch_window(self, addr: int) -> bytes:
+        """Read up to MAX_INSTR_LEN mapped bytes starting at ``addr``."""
+        out = bytearray()
+        for i in range(MAX_INSTR_LEN):
+            if not self.mem.is_mapped(addr + i):
+                break
+            out += self.mem.read(addr + i, 1)
+        if not out:
+            raise Trap(TrapKind.PAGE_FAULT, addr, "instruction fetch")
+        return bytes(out)
+
+    def decode_at(self, addr: int) -> Instruction:
+        window = self._fetch_window(addr)
+        return decode(window, 0)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction (or one native stub)."""
+        if self.halted:
+            raise CpuHalted()
+        rip = self.regs.rip
+        stub = self.native_stubs.get(rip)
+        if stub is not None:
+            stub(self)
+            self._charge()
+            return
+        try:
+            instr = self.decode_at(rip)
+        except InvalidOpcode as exc:
+            self._deliver(
+                Trap(TrapKind.INVALID_OPCODE, rip, f"byte {exc.byte:#04x}")
+            )
+            self._charge()
+            return
+        self._execute(instr)
+        self._charge()
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until halt; returns instructions retired in this call."""
+        start = self.instructions_retired
+        while not self.halted:
+            if self.instructions_retired - start >= max_instructions:
+                raise RuntimeError(
+                    f"instruction budget exhausted ({max_instructions})"
+                )
+            self.step()
+        return self.instructions_retired - start
+
+    def _charge(self) -> None:
+        self.instructions_retired += 1
+        if self.clock is not None and self.instruction_ns:
+            self.clock.advance(self.instruction_ns)
+
+    def _deliver(self, trap: Trap) -> None:
+        if self.trap_handler is None:
+            raise trap
+        self.trap_handler(self, trap)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def _execute(self, instr: Instruction) -> None:
+        regs = self.regs
+        next_rip = regs.rip + instr.length
+        name = instr.mnemonic
+
+        if name == "nop":
+            regs.rip = next_rip
+        elif name == "hlt":
+            self.halted = True
+        elif name == "syscall":
+            # Deliver BEFORE advancing RIP: handlers (the X-Kernel's ABOM
+            # hook in particular) need the syscall instruction's address.
+            self._deliver(Trap(TrapKind.SYSCALL, regs.rip))
+        elif name == "int3":
+            self._deliver(Trap(TrapKind.BREAKPOINT, regs.rip))
+        elif name == "mov_r32_imm32":
+            reg, imm = instr.operands
+            regs.write32(reg, imm)
+            regs.rip = next_rip
+        elif name == "mov_r64_imm32":
+            reg, imm = instr.operands
+            regs.write64(reg, imm & MASK64)
+            regs.rip = next_rip
+        elif name == "mov_r64_r64":
+            dst, src = instr.operands
+            regs.write64(dst, regs.read64(src))
+            regs.rip = next_rip
+        elif name == "mov_r32_r32":
+            dst, src = instr.operands
+            regs.write32(dst, regs.read32(src))
+            regs.rip = next_rip
+        elif name == "mov_r32_rsp_disp8":
+            reg, disp = instr.operands
+            regs.write32(reg, self.mem.read_u32((regs.rsp + disp) & MASK64))
+            regs.rip = next_rip
+        elif name == "mov_r64_rsp_disp8":
+            reg, disp = instr.operands
+            regs.write64(reg, self.mem.read_u64((regs.rsp + disp) & MASK64))
+            regs.rip = next_rip
+        elif name == "mov_rsp_disp8_r32":
+            disp, reg = instr.operands
+            self.mem.write_u32((regs.rsp + disp) & MASK64, regs.read32(reg))
+            regs.rip = next_rip
+        elif name == "mov_rsp_disp8_r64":
+            disp, reg = instr.operands
+            self.mem.write_u64((regs.rsp + disp) & MASK64, regs.read64(reg))
+            regs.rip = next_rip
+        elif name == "push_r64":
+            (reg,) = instr.operands
+            self.push64(regs.read64(reg))
+            regs.rip = next_rip
+        elif name == "pop_r64":
+            (reg,) = instr.operands
+            regs.write64(reg, self.pop64())
+            regs.rip = next_rip
+        elif name == "ret":
+            regs.rip = self.pop64()
+        elif name == "call_rel32":
+            (rel,) = instr.operands
+            self.push64(next_rip)
+            regs.rip = (next_rip + rel) & MASK64
+        elif name == "call_abs_ind":
+            (slot_addr,) = instr.operands
+            target = self.mem.read_u64(slot_addr)
+            self.push64(next_rip)
+            regs.rip = target
+        elif name == "jmp_rel8" or name == "jmp_rel32":
+            (rel,) = instr.operands
+            regs.rip = (next_rip + rel) & MASK64
+        elif name == "je_rel8":
+            (rel,) = instr.operands
+            regs.rip = (next_rip + rel) & MASK64 if regs.zf else next_rip
+        elif name == "jne_rel8":
+            (rel,) = instr.operands
+            regs.rip = next_rip if regs.zf else (next_rip + rel) & MASK64
+        elif name == "jl_rel8":
+            (rel,) = instr.operands
+            regs.rip = (next_rip + rel) & MASK64 if regs.sf else next_rip
+        elif name == "jg_rel8":
+            (rel,) = instr.operands
+            taken = not regs.sf and not regs.zf
+            regs.rip = (next_rip + rel) & MASK64 if taken else next_rip
+        elif name == "add_r64_imm8":
+            reg, imm = instr.operands
+            result = (regs.read64(reg) + imm) & MASK64
+            regs.write64(reg, result)
+            self._set_flags(result)
+            regs.rip = next_rip
+        elif name == "sub_r64_imm8":
+            reg, imm = instr.operands
+            result = (regs.read64(reg) - imm) & MASK64
+            regs.write64(reg, result)
+            self._set_flags(result)
+            regs.rip = next_rip
+        elif name == "cmp_r64_imm8":
+            reg, imm = instr.operands
+            value = regs.read64(reg)
+            result = (value - imm) & MASK64
+            self._set_flags(result)
+            regs.cf = value < (imm & MASK64)
+            regs.rip = next_rip
+        elif name == "inc_r64":
+            (reg,) = instr.operands
+            result = (regs.read64(reg) + 1) & MASK64
+            regs.write64(reg, result)
+            self._set_flags(result)
+            regs.rip = next_rip
+        elif name == "dec_r64":
+            (reg,) = instr.operands
+            result = (regs.read64(reg) - 1) & MASK64
+            regs.write64(reg, result)
+            self._set_flags(result)
+            regs.rip = next_rip
+        elif name == "xor_r32_r32":
+            dst, src = instr.operands
+            result = regs.read32(dst) ^ regs.read32(src)
+            regs.write32(dst, result)
+            self._set_flags(result)
+            regs.rip = next_rip
+        elif name == "xor_r64_r64":
+            dst, src = instr.operands
+            result = regs.read64(dst) ^ regs.read64(src)
+            regs.write64(dst, result)
+            self._set_flags(result)
+            regs.rip = next_rip
+        else:  # pragma: no cover - decoder and executor must stay in sync
+            raise NotImplementedError(f"no semantics for {name}")
+
+    def _set_flags(self, result: int) -> None:
+        self.regs.zf = result == 0
+        self.regs.sf = to_signed64(result) < 0

@@ -1,0 +1,166 @@
+"""Paged memory with permission bits.
+
+A sparse 4 KiB-paged address space.  Pages carry the permission flags ABOM
+cares about: text pages are mapped read-only, so the patcher must run with
+the write-protect check disabled (the paper's "disables ... the
+write-protection bit in the CR-0 register"), and patched pages get their
+DIRTY bit set (§4.4: "the page table dirty bit will be set for read-only
+pages").
+"""
+
+from __future__ import annotations
+
+from enum import IntFlag
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class PageFlags(IntFlag):
+    PRESENT = 1
+    WRITABLE = 2
+    EXECUTABLE = 4
+    USER = 8
+    GLOBAL = 16
+    DIRTY = 32
+
+
+class PageFault(Exception):
+    """Raised on access to an unmapped page or a forbidden write."""
+
+    def __init__(self, addr: int, reason: str) -> None:
+        super().__init__(f"page fault at {addr:#x}: {reason}")
+        self.addr = addr
+        self.reason = reason
+
+
+class _Page:
+    __slots__ = ("data", "flags")
+
+    def __init__(self, flags: PageFlags) -> None:
+        self.data = bytearray(PAGE_SIZE)
+        self.flags = flags
+
+
+class PagedMemory:
+    """Sparse 64-bit paged address space.
+
+    ``wp_enabled`` models the CR0.WP bit: while True (the default), writes to
+    non-WRITABLE pages fault even from supervisor code.  ABOM clears it
+    around a patch and restores it afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._pages: dict[int, _Page] = {}
+        self.wp_enabled = True
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map_region(self, addr: int, size: int, flags: PageFlags) -> None:
+        """Map (or re-flag) all pages covering ``[addr, addr + size)``."""
+        if size <= 0:
+            raise ValueError(f"cannot map region of size {size}")
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        for index in range(first, last + 1):
+            page = self._pages.get(index)
+            if page is None:
+                self._pages[index] = _Page(flags | PageFlags.PRESENT)
+            else:
+                page.flags = flags | PageFlags.PRESENT
+
+    def is_mapped(self, addr: int) -> bool:
+        return (addr >> PAGE_SHIFT) in self._pages
+
+    def page_flags(self, addr: int) -> PageFlags:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            raise PageFault(addr, "not mapped")
+        return page.flags
+
+    def set_page_flags(self, addr: int, flags: PageFlags) -> None:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            raise PageFault(addr, "not mapped")
+        page.flags = flags | PageFlags.PRESENT
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def read(self, addr: int, size: int) -> bytes:
+        out = bytearray()
+        remaining = size
+        cursor = addr
+        while remaining > 0:
+            page = self._pages.get(cursor >> PAGE_SHIFT)
+            if page is None:
+                raise PageFault(cursor, "read of unmapped page")
+            offset = cursor & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += page.data[offset : offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        remaining = memoryview(data)
+        cursor = addr
+        while remaining:
+            page = self._pages.get(cursor >> PAGE_SHIFT)
+            if page is None:
+                raise PageFault(cursor, "write to unmapped page")
+            if self.wp_enabled and not page.flags & PageFlags.WRITABLE:
+                raise PageFault(cursor, "write to read-only page")
+            offset = cursor & (PAGE_SIZE - 1)
+            chunk = min(len(remaining), PAGE_SIZE - offset)
+            page.data[offset : offset + chunk] = remaining[:chunk]
+            if not page.flags & PageFlags.WRITABLE:
+                # Supervisor write with WP disabled: hardware still records
+                # the store in the dirty bit (§4.4).
+                page.flags |= PageFlags.DIRTY
+            cursor += chunk
+            remaining = remaining[chunk:]
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+
+    def read_u32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write(addr, (value & ((1 << 32) - 1)).to_bytes(4, "little"))
+
+    # ------------------------------------------------------------------
+    # Atomic compare-exchange (the patcher's only write primitive)
+    # ------------------------------------------------------------------
+    def compare_exchange(self, addr: int, expected: bytes, new: bytes) -> bool:
+        """Atomically replace ``expected`` with ``new`` at ``addr``.
+
+        Models the ``cmpxchg``-based patching of §4.4: at most eight bytes,
+        and the store happens only if the current contents still equal
+        ``expected``.  Returns True on success.  Respects ``wp_enabled``
+        exactly like :meth:`write`.
+        """
+        if len(expected) != len(new):
+            raise ValueError("compare_exchange operand sizes differ")
+        if not 1 <= len(new) <= 8:
+            raise ValueError(
+                f"cmpxchg can exchange 1..8 bytes, not {len(new)}"
+            )
+        current = self.read(addr, len(expected))
+        if current != expected:
+            return False
+        self.write(addr, new)
+        return True
+
+    def dirty_pages(self) -> list[int]:
+        """Page-aligned addresses of all pages with the DIRTY bit set."""
+        return sorted(
+            index << PAGE_SHIFT
+            for index, page in self._pages.items()
+            if page.flags & PageFlags.DIRTY
+        )

@@ -1,0 +1,124 @@
+"""Command-line interface.
+
+::
+
+    repro experiments [id|all]   # regenerate tables/figures
+    repro platforms              # list runtime models + key costs
+    repro tcb                    # §3.4 isolation TCB comparison
+    repro abom-demo              # patch a binary live, show the bytes
+
+(also reachable as ``python -m repro``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import experiment_ids, run_experiment
+
+    ids = experiment_ids() if args.id == "all" else [args.id]
+    for eid in ids:
+        for result in run_experiment(eid):
+            print(result.format_table())
+            print()
+    return 0
+
+
+def cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.platforms import get_platform, platform_names
+
+    print(f"{'platform':16s} {'syscall ns':>11s} {'multicore':>10s} "
+          f"{'modules':>8s} {'nested-virt':>12s}")
+    for name in platform_names():
+        platform = get_platform(name)
+        print(
+            f"{name:16s} {platform.syscall_cost_ns():11.1f} "
+            f"{str(platform.multicore_processing):>10s} "
+            f"{str(platform.supports_kernel_modules):>8s} "
+            f"{str(platform.needs_nested_hw_virt):>12s}"
+        )
+    return 0
+
+
+def cmd_tcb(args: argparse.Namespace) -> int:
+    from repro.core.tcb import compare_to_docker
+
+    print(f"{'platform':16s} {'TCB kLoC':>10s} {'surface':>8s} "
+          f"{'TCB vs docker':>14s} {'surface vs docker':>18s}")
+    for row in compare_to_docker():
+        print(
+            f"{row.platform:16s} {row.tcb_kloc:10,d} "
+            f"{row.attack_surface:8d} {row.tcb_vs_docker:13.3f}x "
+            f"{row.surface_vs_docker:17.2f}x"
+        )
+    return 0
+
+
+def cmd_abom_demo(args: argparse.Namespace) -> int:
+    from repro import Assembler, CountingServices, Reg, XContainer
+    from repro.arch.disasm import disassemble_memory, format_listing
+
+    asm = Assembler(base=0x400000)
+    asm.mov_imm32(Reg.RBX, args.iterations)
+    asm.label("loop")
+    asm.syscall_site(0, style="mov_eax", symbol="__read")
+    asm.syscall_site(15, style="mov_rax", symbol="__restore_rt")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    binary = asm.build("demo")
+    xc = XContainer(CountingServices())
+    xc.load(binary)
+    print("before:")
+    print(format_listing(
+        disassemble_memory(xc.memory, binary.base, len(binary.code))
+    ))
+    xc.run_loaded(binary.entry)
+    print()
+    print("after ABOM:")
+    print(format_listing(
+        disassemble_memory(xc.memory, binary.base, len(binary.code))
+    ))
+    print()
+    print(f"forwarded: {xc.libos_stats.forwarded_syscalls}, "
+          f"lightweight: {xc.libos_stats.lightweight_syscalls}, "
+          f"reduction: {xc.syscall_reduction():.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="X-Containers (ASPLOS'19) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables/figures"
+    )
+    experiments.add_argument("id", nargs="?", default="all")
+    experiments.set_defaults(func=cmd_experiments)
+
+    platforms = sub.add_parser("platforms", help="list runtime models")
+    platforms.set_defaults(func=cmd_platforms)
+
+    tcb = sub.add_parser("tcb", help="isolation TCB comparison (§3.4)")
+    tcb.set_defaults(func=cmd_tcb)
+
+    demo = sub.add_parser("abom-demo", help="live binary-patching demo")
+    demo.add_argument("--iterations", type=int, default=3)
+    demo.set_defaults(func=cmd_abom_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

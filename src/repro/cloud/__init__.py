@@ -1,0 +1,11 @@
+"""Cloud testbed models (§5.1)."""
+
+from repro.cloud.instances import (
+    CloudSite,
+    EC2,
+    GCE,
+    LOCAL_CLUSTER,
+    site_by_name,
+)
+
+__all__ = ["CloudSite", "EC2", "GCE", "LOCAL_CLUSTER", "site_by_name"]

@@ -1,0 +1,143 @@
+"""Docker image storage: layers over device-mapper snapshots.
+
+The Docker wrapper "loads an X-LibOS with a Docker image" (§4.5); this
+module provides the image side: a registry of layered images, where each
+container gets a copy-on-write snapshot of its image's flattened view —
+the device-mapper backend of §5.1 — populated into the container's RamFS
+at bootstrap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guest.vfs import RamFS
+from repro.xen.blkdev import BlockStore, SnapshotStore
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One image layer: a set of files (path -> content)."""
+
+    digest: str
+    files: tuple[tuple[str, bytes], ...]
+
+    @staticmethod
+    def from_dict(digest: str, files: dict[str, bytes]) -> "Layer":
+        return Layer(digest, tuple(sorted(files.items())))
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(content) for _, content in self.files)
+
+
+@dataclass
+class ImageManifest:
+    name: str
+    tag: str
+    layers: list[Layer] = field(default_factory=list)
+    entrypoint: str = "/bin/app"
+
+    @property
+    def reference(self) -> str:
+        return f"{self.name}:{self.tag}"
+
+    def flatten(self) -> dict[str, bytes]:
+        """Apply layers bottom-up; later layers override earlier ones."""
+        view: dict[str, bytes] = {}
+        for layer in self.layers:
+            for path, content in layer.files:
+                view[path] = content
+        return view
+
+
+class ImageRegistry:
+    """Local image store with shared base layers."""
+
+    def __init__(self, disk_sectors: int = 1 << 16) -> None:
+        self._images: dict[str, ImageManifest] = {}
+        self._layer_cache: dict[str, Layer] = {}
+        #: The shared base device every container snapshot derives from.
+        self.base_device = BlockStore(disk_sectors)
+
+    def push(self, manifest: ImageManifest) -> None:
+        for layer in manifest.layers:
+            cached = self._layer_cache.get(layer.digest)
+            if cached is not None and cached != layer:
+                raise ValueError(
+                    f"digest collision on {layer.digest}"
+                )
+            self._layer_cache[layer.digest] = layer
+        self._images[manifest.reference] = manifest
+
+    def pull(self, reference: str) -> ImageManifest:
+        manifest = self._images.get(reference)
+        if manifest is None:
+            raise KeyError(f"image {reference!r} not found")
+        return manifest
+
+    def shared_layers(self, ref_a: str, ref_b: str) -> set[str]:
+        """Layer digests two images have in common (dedup accounting)."""
+        a = {layer.digest for layer in self.pull(ref_a).layers}
+        b = {layer.digest for layer in self.pull(ref_b).layers}
+        return a & b
+
+    # ------------------------------------------------------------------
+    # Container instantiation
+    # ------------------------------------------------------------------
+    def materialize(self, reference: str) -> tuple[RamFS, SnapshotStore]:
+        """Create a container's root filesystem from an image.
+
+        Returns the populated RamFS plus the copy-on-write block snapshot
+        backing it (the §5.1 device-mapper configuration).
+        """
+        manifest = self.pull(reference)
+        snapshot = SnapshotStore(self.base_device)
+        rootfs = RamFS()
+        for path, content in manifest.flatten().items():
+            rootfs.create(path, content)
+        return rootfs, snapshot
+
+
+def demo_images() -> ImageRegistry:
+    """A registry with the images the paper's experiments use."""
+    registry = ImageRegistry()
+    base_os = Layer.from_dict(
+        "sha256:base-ubuntu16",
+        {"/etc/os-release": b"Ubuntu 16.04", "/bin/sh": b"#!shell"},
+    )
+    registry.push(
+        ImageManifest(
+            "nginx", "1.13",
+            [base_os,
+             Layer.from_dict(
+                 "sha256:nginx-bin",
+                 {"/usr/sbin/nginx": b"NGINXBIN",
+                  "/etc/nginx/nginx.conf": b"worker_processes 1;"},
+             )],
+            entrypoint="/usr/sbin/nginx",
+        )
+    )
+    registry.push(
+        ImageManifest(
+            "memcached", "1.5.7",
+            [base_os,
+             Layer.from_dict(
+                 "sha256:memcached-bin",
+                 {"/usr/bin/memcached": b"MEMCACHEDBIN"},
+             )],
+            entrypoint="/usr/bin/memcached",
+        )
+    )
+    registry.push(
+        ImageManifest(
+            "redis", "3.2.11",
+            [base_os,
+             Layer.from_dict(
+                 "sha256:redis-bin",
+                 {"/usr/bin/redis-server": b"REDISBIN"},
+             )],
+            entrypoint="/usr/bin/redis-server",
+        )
+    )
+    return registry

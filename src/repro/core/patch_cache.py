@@ -1,0 +1,88 @@
+"""Persisting ABOM patches across container instances (§4.4).
+
+    "The patch is mostly transparent to X-LibOS, except that the page
+     table dirty bit will be set for read-only pages.  X-LibOS can choose
+     to either ignore those dirty pages, or flush them to disk so that
+     the same patch is not needed in the future."
+
+:class:`PatchCache` implements the flush-to-disk choice: after a
+container has run, :meth:`capture` collects the dirtied text pages of its
+binary; :meth:`apply` pre-patches the next instance's freshly-loaded text
+so even the *first* execution of every converted site takes the
+lightweight path (no warm-up traps, no re-patching cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.binary import Binary
+from repro.arch.memory import PagedMemory, PageFlags, PAGE_SIZE
+
+
+@dataclass
+class CachedPatch:
+    """The dirty text pages of one binary, keyed by page offset."""
+
+    binary_name: str
+    pages: dict[int, bytes] = field(default_factory=dict)
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+
+class PatchCache:
+    """Stores patched text pages per binary name."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, CachedPatch] = {}
+
+    def __contains__(self, binary_name: str) -> bool:
+        return binary_name in self._cache
+
+    def entry(self, binary_name: str) -> CachedPatch:
+        return self._cache[binary_name]
+
+    def capture(self, binary: Binary, memory: PagedMemory) -> int:
+        """Record ``binary``'s dirtied text pages; returns how many."""
+        patch = CachedPatch(binary.name)
+        end = binary.base + len(binary.code)
+        for addr in memory.dirty_pages():
+            if binary.base - PAGE_SIZE < addr < end:
+                offset = addr - (binary.base & ~(PAGE_SIZE - 1))
+                patch.pages[offset] = memory.read(addr, PAGE_SIZE)
+        if patch.pages:
+            self._cache[binary.name] = patch
+        return patch.page_count
+
+    def apply(self, binary: Binary, memory: PagedMemory) -> int:
+        """Overlay cached patched pages onto a loaded ``binary``.
+
+        Returns the number of pages applied (0 when nothing is cached).
+        The pages are written supervisor-style (WP dropped) but the dirty
+        bits are cleared afterwards — from the new instance's point of
+        view the binary simply *is* the patched one.
+        """
+        patch = self._cache.get(binary.name)
+        if patch is None:
+            return 0
+        page_base = binary.base & ~(PAGE_SIZE - 1)
+        memory.wp_enabled = False
+        try:
+            for offset, data in patch.pages.items():
+                memory.write(page_base + offset, data)
+        finally:
+            memory.wp_enabled = True
+        for offset in patch.pages:
+            addr = page_base + offset
+            memory.set_page_flags(
+                addr, memory.page_flags(addr) & ~PageFlags.DIRTY
+            )
+        return patch.page_count
+
+    def clear(self, binary_name: str | None = None) -> None:
+        if binary_name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(binary_name, None)

@@ -1,0 +1,132 @@
+"""The vsyscall page and system-call entry table (§4.4).
+
+    "X-LibOS stores a system call entry table in the vsyscall page, which is
+     mapped to a fixed virtual memory address in every process."
+
+The layout is inferred from Figure 2 of the paper:
+
+* ``__read`` (syscall 0) calls through ``0xffffffffff600008`` and
+  ``__restore_rt`` (syscall 15) through ``0xffffffffff600080`` — so the slot
+  for syscall *n* lives at ``base + 8 * (n + 1)``;
+* the Go ``syscall.Syscall`` site (number loaded from ``0x8(%rsp)``) calls
+  through ``0xffffffffff600c08`` — a second, *dynamic* table at
+  ``base + 0xc00`` indexed by the stack displacement, whose stubs load the
+  syscall number from the stack at run time (shifted by 8 because the call
+  pushed a return address).
+
+The page sits at ``0xffffffffff600000`` precisely so every slot address fits
+in a sign-extended 32-bit displacement, which is what makes the 7-byte
+``callq *disp32`` replacement possible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.cpu import CPU
+from repro.arch.memory import PagedMemory, PageFlags
+
+VSYSCALL_BASE = 0xFFFFFFFFFF600000
+#: Offset of the dynamic (stack-sourced number) slot table.
+DYNAMIC_TABLE_OFFSET = 0xC00
+#: Highest syscall number with a static slot.
+NUM_SYSCALLS = 384
+#: Stack displacements (multiples of 8) with a dynamic slot.
+DYNAMIC_DISPS = tuple(range(0, 0x80, 8))
+#: Where the LibOS entry stubs live (arbitrary kernel-half addresses; they
+#: are native stubs, never fetched as bytes).
+STUB_BASE = 0xFFFFFFFFFF610000
+STUB_STRIDE = 16
+
+
+def slot_addr(nr: int) -> int:
+    """Table slot for a statically-known syscall number."""
+    if not 0 <= nr < NUM_SYSCALLS:
+        raise ValueError(f"syscall number out of table range: {nr}")
+    return VSYSCALL_BASE + 8 * (nr + 1)
+
+
+def dynamic_slot_addr(disp: int) -> int:
+    """Table slot for a Go-style site loading the number from rsp+disp."""
+    if disp not in DYNAMIC_DISPS:
+        raise ValueError(f"no dynamic slot for displacement {disp:#x}")
+    return VSYSCALL_BASE + DYNAMIC_TABLE_OFFSET + disp
+
+
+def stub_addr(nr: int) -> int:
+    return STUB_BASE + nr * STUB_STRIDE
+
+
+def dynamic_stub_addr(disp: int) -> int:
+    return STUB_BASE + (NUM_SYSCALLS + disp // 8) * STUB_STRIDE
+
+
+class VsyscallPage:
+    """Installs the entry table into memory and the stubs onto a CPU.
+
+    ``entry_handler(cpu, nr)`` is the X-LibOS lightweight syscall entry: it
+    is invoked with the resolved syscall number for static slots; dynamic
+    stubs resolve the number from the stack first.
+    """
+
+    def __init__(self, memory: PagedMemory) -> None:
+        self.memory = memory
+        self._installed = False
+
+    def install(self) -> None:
+        """Map the page (kernel-half, GLOBAL, read-only) and fill the table."""
+        self.memory.map_region(
+            VSYSCALL_BASE,
+            0x1000,
+            PageFlags.USER | PageFlags.GLOBAL,
+        )
+        self.memory.wp_enabled = False
+        try:
+            for nr in range(NUM_SYSCALLS):
+                self.memory.write_u64(slot_addr(nr), stub_addr(nr))
+            for disp in DYNAMIC_DISPS:
+                self.memory.write_u64(
+                    dynamic_slot_addr(disp), dynamic_stub_addr(disp)
+                )
+        finally:
+            self.memory.wp_enabled = True
+        # Installing the table is initialization, not patching: clear the
+        # dirty bit the supervisor writes set.
+        self.memory.set_page_flags(
+            VSYSCALL_BASE,
+            self.memory.page_flags(VSYSCALL_BASE) & ~PageFlags.DIRTY,
+        )
+        self._installed = True
+
+    def attach(
+        self,
+        cpu: CPU,
+        entry_handler: Callable[[CPU, int], None],
+    ) -> None:
+        """Register the LibOS entry stubs on ``cpu``.
+
+        Static stub *n* invokes ``entry_handler(cpu, n)``.  A dynamic stub
+        for displacement ``d`` reads the number from ``(rsp + d + 8)`` —
+        ``+8`` because the ``call`` has pushed the return address on top of
+        what the original code indexed.
+        """
+        if not self._installed:
+            raise RuntimeError("install() the vsyscall page before attach()")
+
+        def make_static(nr: int):
+            def stub(cpu: CPU) -> None:
+                entry_handler(cpu, nr)
+
+            return stub
+
+        def make_dynamic(disp: int):
+            def stub(cpu: CPU) -> None:
+                nr = cpu.mem.read_u64(cpu.regs.rsp + disp + 8) & 0xFFFFFFFF
+                entry_handler(cpu, nr)
+
+            return stub
+
+        for nr in range(NUM_SYSCALLS):
+            cpu.native_stubs[stub_addr(nr)] = make_static(nr)
+        for disp in DYNAMIC_DISPS:
+            cpu.native_stubs[dynamic_stub_addr(disp)] = make_dynamic(disp)

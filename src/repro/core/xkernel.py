@@ -1,0 +1,145 @@
+"""X-Kernel — Xen modified into an exokernel for X-Containers (§4.2).
+
+Differences from stock Xen PV, as implemented here:
+
+* a trapped ``syscall`` is handed to ABOM for patching and then transferred
+  *directly* to the X-LibOS in the same address space — no page-table
+  switch, no TLB flush (stock x86-64 Xen PV pays both, twice per syscall);
+* guest kernel mode vs. guest user mode is inferred from the stack
+  pointer's most-significant bit, because lightweight syscalls no longer
+  tell the hypervisor about mode switches (§4.2);
+* a #UD raised by a jump into the tail of a patched call is fixed up by
+  rewinding RIP (§4.4);
+* the ``iret`` and event-delivery hypercalls are gone — the X-LibOS
+  handles both in user mode.
+
+The X-Kernel still owns everything that needs root privilege: page-table
+updates arrive as validated hypercalls, which is why process creation and
+context switching inside an X-Container are *slower* than native Docker
+(§5.4) even though syscalls are far faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cpu import CPU, Trap, TrapKind
+from repro.arch.memory import PagedMemory
+from repro.core.abom import ABOM
+from repro.core.xlibos import XLibOS
+from repro.perf.clock import SimClock
+from repro.perf.costs import CostModel
+
+#: Addresses with the MSB set are in the kernel half of the address space.
+_KERNEL_HALF = 1 << 63
+
+
+@dataclass
+class XKernelStats:
+    syscalls_trapped: int = 0
+    hypercalls: dict[str, int] = field(default_factory=dict)
+    pt_updates: int = 0
+    ud_traps: int = 0
+
+
+class XKernel:
+    """The exokernel: trap handling, ABOM hosting, validated hypercalls."""
+
+    def __init__(
+        self,
+        memory: PagedMemory,
+        costs: CostModel | None = None,
+        clock: SimClock | None = None,
+        abom_enabled: bool = True,
+        meltdown_patched: bool = True,
+    ) -> None:
+        self.memory = memory
+        self.costs = costs or CostModel()
+        self.clock = clock
+        self.abom = ABOM(memory, self.costs, clock, enabled=abom_enabled)
+        self.stats = XKernelStats()
+        #: Optional :class:`repro.perf.trace.Tracer`.
+        self.tracer = None
+        #: The XPTI patch is ported to the X-Kernel (§5.1) but does not
+        #: affect the syscall path — syscalls never cross into the
+        #: hypervisor's protected mappings (§5.4: "the Meltdown patch does
+        #: not affect performance of X-Containers").
+        self.meltdown_patched = meltdown_patched
+
+    # ------------------------------------------------------------------
+    # CPU attachment
+    # ------------------------------------------------------------------
+    def attach(self, cpu: CPU, libos: XLibOS) -> None:
+        """Install this kernel as ``cpu``'s trap handler, serving ``libos``."""
+
+        def handler(cpu: CPU, trap: Trap) -> None:
+            self.handle_trap(cpu, trap, libos)
+
+        cpu.trap_handler = handler
+        libos.attach(cpu)
+
+    # ------------------------------------------------------------------
+    # Trap handling
+    # ------------------------------------------------------------------
+    def handle_trap(self, cpu: CPU, trap: Trap, libos: XLibOS) -> None:
+        if trap.kind is TrapKind.SYSCALL:
+            self._handle_syscall(cpu, trap, libos)
+        elif trap.kind is TrapKind.INVALID_OPCODE:
+            self._handle_ud(cpu, trap)
+        else:
+            raise trap
+
+    def _handle_syscall(self, cpu: CPU, trap: Trap, libos: XLibOS) -> None:
+        """Patch (if possible), then transfer to the LibOS (§4.4).
+
+        "The X-Kernel immediately transfers control to the X-LibOS,
+        guaranteeing binary level compatibility."
+        """
+        self.stats.syscalls_trapped += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "syscall", "forwarded", rip=trap.rip,
+                nr=cpu.regs.rax & 0xFFFFFFFF,
+            )
+        self.abom.try_patch(trap.rip)
+        self._charge(self.costs.xc_forwarded_syscall_ns)
+        libos.forwarded_entry(cpu, trap.rip)
+
+    def _handle_ud(self, cpu: CPU, trap: Trap) -> None:
+        """Fix a jump into the last two bytes of a patched call (§4.4)."""
+        self.stats.ud_traps += 1
+        if self.abom.looks_like_patched_tail(trap.rip):
+            self.abom.fixup_rip(cpu, trap.rip)
+            return
+        raise trap
+
+    # ------------------------------------------------------------------
+    # Mode discovery (§4.2)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def in_guest_kernel_mode(cpu: CPU) -> bool:
+        """Guest kernel vs. user mode, judged by the stack pointer's MSB.
+
+        "the X-Kernel determines whether the CPU is executing kernel or
+        user process code by checking the location of the current stack
+        pointer ... the most significant bit in the stack pointer indicates
+        whether it is in guest kernel mode or guest user mode."
+        """
+        return bool(cpu.regs.rsp & _KERNEL_HALF)
+
+    # ------------------------------------------------------------------
+    # Hypercalls
+    # ------------------------------------------------------------------
+    def hypercall(self, name: str) -> None:
+        """A validated hypercall (anything needing root privilege)."""
+        self.stats.hypercalls[name] = self.stats.hypercalls.get(name, 0) + 1
+        self._charge(self.costs.hypercall_ns)
+
+    def mmu_update(self, entries: int = 1) -> None:
+        """Batched page-table update — the cost process ops cannot avoid."""
+        self.stats.pt_updates += entries
+        self._charge(self.costs.pt_update_hypercall_ns * entries)
+
+    def _charge(self, ns: float) -> None:
+        if self.clock is not None:
+            self.clock.advance(ns)

@@ -1,0 +1,89 @@
+"""Figure 3 — macrobenchmarks: NGINX, memcached, Redis on EC2 and GCE.
+
+Ten §5.1 configurations per workload per cloud; throughput and latency
+normalized to patched Docker.  Clear Containers only exist on GCE (no
+nested hardware virtualization on EC2).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instances import EC2, GCE, CloudSite
+from repro.experiments.report import ExperimentResult, Row
+from repro.platforms.registry import cloud_configurations
+from repro.workloads.base import ServerModel
+from repro.workloads.clients import ApacheBench, MemtierBenchmark
+from repro.workloads.profiles import MEMCACHED, NGINX, REDIS
+
+WORKLOADS = [
+    ("nginx", NGINX, ApacheBench),
+    ("memcached", MEMCACHED, MemtierBenchmark),
+    ("redis", REDIS, MemtierBenchmark),
+]
+SITES = (EC2, GCE)
+
+
+def _measure_site(site: CloudSite):
+    costs = site.costs()
+    configs = cloud_configurations(costs)
+    results = {}
+    for workload_name, profile, client_cls in WORKLOADS:
+        client = client_cls(seed=f"fig3:{site.name}:{workload_name}")
+        per_config = {}
+        for config_name, platform in configs.items():
+            if not site.supports(platform):
+                per_config[config_name] = None
+                continue
+            report = client.drive(ServerModel(platform, site), profile)
+            per_config[config_name] = report
+        results[workload_name] = per_config
+    return results
+
+
+def run() -> tuple[ExperimentResult, ExperimentResult]:
+    """Returns (relative throughput, relative latency) — Fig 3a and 3b."""
+    throughput_rows = []
+    latency_rows = []
+    columns = []
+    for site in SITES:
+        measured = _measure_site(site)
+        for workload_name, per_config in measured.items():
+            column = f"{site.name}/{workload_name}"
+            columns.append(column)
+            docker = per_config["docker"]
+            for config_name, report in per_config.items():
+                t_row = _row(throughput_rows, config_name)
+                l_row = _row(latency_rows, config_name)
+                if report is None:
+                    t_row.values[column] = None
+                    l_row.values[column] = None
+                else:
+                    t_row.values[column] = (
+                        report.mean_throughput / docker.mean_throughput
+                    )
+                    l_row.values[column] = (
+                        report.mean_latency_ms / docker.mean_latency_ms
+                    )
+    throughput = ExperimentResult(
+        "fig3a",
+        "Figure 3a: relative throughput (normalized to patched Docker; "
+        "higher is better)",
+        columns,
+        throughput_rows,
+    )
+    latency = ExperimentResult(
+        "fig3b",
+        "Figure 3b: relative latency (normalized to patched Docker; "
+        "lower is better)",
+        columns,
+        latency_rows,
+    )
+    return throughput, latency
+
+
+def _row(rows: list[Row], label: str) -> Row:
+    for row in rows:
+        if row.label == label:
+            return row
+    row = Row(label)
+    rows.append(row)
+    return row

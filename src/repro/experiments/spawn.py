@@ -1,0 +1,51 @@
+"""§4.5 — container spawning costs.
+
+Not a numbered figure, but the paper reports concrete numbers: 180 ms for
+an X-LibOS boot, ~3 s with the stock ``xl`` toolstack, 4 ms with a
+LightVM-style toolstack, and a large gap to booting an ordinary VM.
+"""
+
+from __future__ import annotations
+
+from repro.core.docker_wrapper import DockerImage, DockerWrapper
+from repro.experiments.report import ExperimentResult, Row
+from repro.perf.costs import CostModel
+
+
+def run() -> ExperimentResult:
+    costs = CostModel()
+    stock = DockerWrapper(costs)
+    _, stock_timing = stock.spawn(DockerImage("bash"))
+    fast = DockerWrapper(costs, fast_toolstack=True)
+    _, fast_timing = fast.spawn(DockerImage("bash"))
+    rows = [
+        Row("docker (runc)", {"total_ms": costs.docker_spawn_ms}),
+        Row(
+            "x-container (xl toolstack)",
+            {
+                "total_ms": stock_timing.total_ms,
+                "boot_ms": stock_timing.boot_ms,
+                "toolstack_ms": stock_timing.toolstack_ms,
+            },
+        ),
+        Row(
+            "x-container (lightvm toolstack)",
+            {
+                "total_ms": fast_timing.total_ms,
+                "boot_ms": fast_timing.boot_ms,
+                "toolstack_ms": fast_timing.toolstack_ms,
+            },
+        ),
+        Row(
+            "ordinary VM",
+            {"total_ms": stock.ordinary_vm_spawn_ms()},
+        ),
+    ]
+    return ExperimentResult(
+        "spawn",
+        "Section 4.5: container instantiation time (ms)",
+        ["total_ms", "boot_ms", "toolstack_ms"],
+        rows,
+        notes="paper: 180 ms X-LibOS boot, ~3 s with xl, 4 ms LightVM "
+        "toolstack",
+    )

@@ -1,0 +1,127 @@
+"""Parameter sweeps — sensitivity analysis over the cost model.
+
+The calibration constants are explicit; these sweeps show how the
+headline results move when they change, answering "how much of the win
+depends on assumption X?":
+
+* :func:`sweep_conversion_fraction` — Fig 3 macro gains as ABOM converts
+  0→100 % of syscalls (Table 1's per-app spread made continuous);
+* :func:`sweep_kpti_cost` — how Docker's patched/unpatched gap and the
+  X-Container advantage scale with the Meltdown tax;
+* :func:`sweep_netfront_cost` — when the split-driver cost would erase
+  the macro wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cloud.instances import EC2
+from repro.experiments.report import ExperimentResult, Row
+from repro.perf.costs import CostModel
+from repro.platforms.docker import DockerPlatform
+from repro.platforms.x_container import XContainerPlatform
+from repro.workloads.base import ServerModel
+from repro.workloads.profiles import MEMCACHED, NGINX
+
+
+def _ratio(costs: CostModel, profile, x_kwargs=None) -> float:
+    docker = ServerModel(DockerPlatform(costs), EC2)
+    x = ServerModel(
+        XContainerPlatform(costs, **(x_kwargs or {})), EC2
+    )
+    return docker.per_request_ns(profile) / x.per_request_ns(profile)
+
+
+def sweep_conversion_fraction(
+    fractions=(0.0, 0.25, 0.5, 0.75, 0.923, 1.0),
+) -> ExperimentResult:
+    costs = CostModel()
+    rows = []
+    for fraction in fractions:
+        rows.append(
+            Row(
+                f"{fraction:.0%}",
+                {
+                    "memcached_vs_docker": _ratio(
+                        costs, MEMCACHED,
+                        {"converted_fraction": fraction},
+                    ),
+                    "nginx_vs_docker": _ratio(
+                        costs, NGINX, {"converted_fraction": fraction}
+                    ),
+                },
+            )
+        )
+    return ExperimentResult(
+        "sweep-conversion",
+        "Sweep: X-Container macro advantage vs ABOM conversion fraction",
+        ["memcached_vs_docker", "nginx_vs_docker"],
+        rows,
+        notes="Table 1 reductions (92–100 %) sit on the flat top of the "
+        "curve — which is why ABOM only needs the common patterns",
+    )
+
+
+def sweep_kpti_cost(
+    extras=(0.0, 200.0, 420.0, 800.0, 1600.0),
+) -> ExperimentResult:
+    rows = []
+    for extra in extras:
+        costs = replace(CostModel(), kpti_syscall_extra_ns=extra)
+        rows.append(
+            Row(
+                f"{extra:.0f}ns",
+                {
+                    "memcached_vs_docker": _ratio(costs, MEMCACHED),
+                    "docker_unpatched_gain": (
+                        ServerModel(DockerPlatform(costs), EC2)
+                        .per_request_ns(MEMCACHED)
+                        / ServerModel(
+                            DockerPlatform(costs, patched=False), EC2
+                        ).per_request_ns(MEMCACHED)
+                    ),
+                },
+            )
+        )
+    return ExperimentResult(
+        "sweep-kpti",
+        "Sweep: the Meltdown tax vs the X-Container advantage",
+        ["memcached_vs_docker", "docker_unpatched_gain"],
+        rows,
+        notes="X-Containers keep a large advantage even at zero KPTI "
+        "cost: conversion + dedication, not just the patch",
+    )
+
+
+def sweep_netfront_cost(
+    costs_ns=(600.0, 1200.0, 2400.0, 4800.0, 9600.0),
+) -> ExperimentResult:
+    rows = []
+    for netfront in costs_ns:
+        costs = replace(CostModel(), netfront_ns=netfront)
+        rows.append(
+            Row(
+                f"{netfront:.0f}ns",
+                {
+                    "memcached_vs_docker": _ratio(costs, MEMCACHED),
+                    "nginx_vs_docker": _ratio(costs, NGINX),
+                },
+            )
+        )
+    return ExperimentResult(
+        "sweep-netfront",
+        "Sweep: split-driver cost vs the X-Container macro advantage",
+        ["memcached_vs_docker", "nginx_vs_docker"],
+        rows,
+        notes="the crossover shows how much ring overhead the syscall "
+        "and dedication wins can absorb",
+    )
+
+
+def run() -> list[ExperimentResult]:
+    return [
+        sweep_conversion_fraction(),
+        sweep_kpti_cost(),
+        sweep_netfront_cost(),
+    ]

@@ -1,0 +1,98 @@
+"""Cross-validation: the functional stack must agree with the priced
+model wherever both can measure the same thing.
+
+Two checks, runnable as experiment id ``validate``:
+
+* **device ordering** — serving the same page through loopback, bridge,
+  netfront, nested-virtio, and the gVisor netstack must rank the same
+  functionally (measured simulated time of real requests) as in the
+  analytic device-cost table;
+* **merged-vs-dedicated** — the functional PHP+MiniDB deployment must
+  show the loopback saving the Fig 6c model predicts, in the same
+  direction and comparable magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, Row
+from repro.guest.netstack import NetDevice, NetStack
+from repro.perf.clock import SimClock
+from repro.workloads.php_mysql_app import (
+    build_dedicated_deployment,
+    build_merged_deployment,
+)
+from repro.workloads.wrk_functional import FunctionalWrk
+
+DEVICES = [
+    NetDevice.LOOPBACK,
+    NetDevice.BRIDGE,
+    NetDevice.NETFRONT,
+    NetDevice.NESTED_VIRTIO,
+    NetDevice.GVISOR,
+]
+
+
+def run() -> list[ExperimentResult]:
+    return [device_ordering(), merged_vs_dedicated()]
+
+
+def device_ordering(requests: int = 40) -> ExperimentResult:
+    rows = []
+    for device in DEVICES:
+        wrk = FunctionalWrk(server_device=device)
+        report = wrk.run(requests)
+        analytic = NetStack(device=device).device_cost_ns()
+        rows.append(
+            Row(
+                device.value,
+                {
+                    "functional_us_per_req": (
+                        report.duration_ms * 1e3 / report.requests
+                    ),
+                    "analytic_device_ns": analytic,
+                },
+            )
+        )
+    functional = [row.values["functional_us_per_req"] for row in rows]
+    analytic = [row.values["analytic_device_ns"] for row in rows]
+    agree = all(
+        (functional[i] <= functional[i + 1])
+        == (analytic[i] <= analytic[i + 1])
+        for i in range(len(rows) - 1)
+    )
+    return ExperimentResult(
+        "validate-devices",
+        "Validation: functional vs analytic network-device ordering",
+        ["functional_us_per_req", "analytic_device_ns"],
+        rows,
+        notes=f"orderings agree: {agree}",
+    )
+
+
+def merged_vs_dedicated(pages: int = 15) -> ExperimentResult:
+    dedicated_clock = SimClock()
+    php_d, _ = build_dedicated_deployment(dedicated_clock)
+    for _ in range(pages):
+        php_d.render_page()
+    merged_clock = SimClock()
+    php_m, _ = build_merged_deployment(merged_clock)
+    for _ in range(pages):
+        php_m.render_page()
+    dedicated_us = dedicated_clock.now_us / pages
+    merged_us = merged_clock.now_us / pages
+    rows = [
+        Row("dedicated", {"us_per_page": dedicated_us}),
+        Row("dedicated&merged", {"us_per_page": merged_us}),
+        Row(
+            "saving",
+            {"us_per_page": dedicated_us - merged_us},
+        ),
+    ]
+    return ExperimentResult(
+        "validate-merged",
+        "Validation: functional PHP+MiniDB, merged vs dedicated "
+        "(the Fig 6c mechanism, measured on real requests)",
+        ["us_per_page"],
+        rows,
+        notes="merging must be cheaper, as the Fig 6c model predicts",
+    )

@@ -1,0 +1,93 @@
+"""Kernel configuration knobs (§3.2).
+
+    "It has hundreds of booting parameters, thousands of compilation
+     configurations, and many fine-grained runtime tuning knobs ...
+     Turning the Linux kernel into a LibOS and dedicating it to a single
+     application can unlock its full potential."
+
+Only the knobs with modelled performance effects are exposed; the point is
+that a *dedicated* kernel can set them per application where a shared one
+cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelConfig:
+    """Build/boot configuration of one kernel instance."""
+
+    name: str = "generic"
+    #: Symmetric multi-processing.  Disabling it for single-threaded
+    #: applications "can eliminate unnecessary locking and TLB shoot-downs"
+    #: (§3.2).
+    smp: bool = True
+    nr_cpus: int = 8
+    #: Meltdown/KPTI page-table isolation (§5.1 patched vs -unpatched).
+    kpti: bool = True
+    #: Whether root may load kernel modules (false inside Docker, §5.7).
+    modules_allowed: bool = True
+    #: True when the kernel is dedicated to a single concern and tuned for
+    #: it (the X-LibOS case).
+    single_concern_tuned: bool = False
+    #: Extra boot parameters, recorded for documentation purposes.
+    boot_params: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nr_cpus < 1:
+            raise ValueError(f"nr_cpus must be >= 1: {self.nr_cpus}")
+        if not self.smp and self.nr_cpus > 1:
+            # nosmp boots uniprocessor regardless of hardware threads.
+            self.nr_cpus = 1
+
+    def kernel_work_factor(self) -> float:
+        """Multiplier on per-request kernel work for this configuration.
+
+        Composes the §3.2 effects: single-concern tuning removes shared
+        locking/config compromises; disabling SMP on a uniprocessor
+        workload removes lock prefixes and TLB shootdowns on top.
+        """
+        factor = 1.0
+        if self.single_concern_tuned:
+            factor *= 0.72
+        if not self.smp:
+            factor *= 0.88
+        return factor
+
+    def netstack_factor(self) -> float:
+        """Multiplier on per-request TCP/IP stack work.
+
+        A dedicated single-concern kernel gains more on the network stack
+        than on generic kernel work: buffer sizes and interrupt coalescing
+        tuned for exactly one server, no softirq contention with other
+        applications, busy-polling where it pays (§3.2).
+        """
+        if self.single_concern_tuned:
+            return 0.45
+        return 1.0 if self.smp else 0.88
+
+    @classmethod
+    def host_default(cls) -> "KernelConfig":
+        """Ubuntu-16 style shared host kernel (the Docker baseline)."""
+        return cls(name="ubuntu-16-generic", smp=True, kpti=True,
+                   modules_allowed=False)
+
+    @classmethod
+    def xlibos(cls, smp: bool = True) -> "KernelConfig":
+        """An X-LibOS dedicated to one container."""
+        return cls(
+            name="x-libos",
+            smp=smp,
+            kpti=False,  # no user/kernel boundary left to protect
+            modules_allowed=True,
+            single_concern_tuned=True,
+        )
+
+    @classmethod
+    def clear_guest(cls) -> "KernelConfig":
+        """Clear Containers' stripped guest kernel (always unpatched,
+        §5.1)."""
+        return cls(name="clear-guest-4.14", smp=True, kpti=False,
+                   modules_allowed=False, single_concern_tuned=False)

@@ -1,0 +1,61 @@
+"""netfilter / iptables — DNAT port forwarding (§5.3).
+
+    "Since Amazon EC2 and Google GCE do not support bridged networks
+     natively, the servers were exposed to clients via port forwarding in
+     iptables."
+
+Every macro-benchmark request passes one DNAT translation each way; IPVS
+NAT mode (§5.7) reuses the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.costs import CostModel
+
+
+@dataclass(frozen=True)
+class DnatRule:
+    public_port: int
+    dest_host: str
+    dest_port: int
+
+
+@dataclass
+class NetfilterStats:
+    translations: int = 0
+    dropped: int = 0
+
+
+class Netfilter:
+    """A host kernel's NAT table."""
+
+    def __init__(self, costs: CostModel | None = None) -> None:
+        self.costs = costs or CostModel()
+        self._rules: dict[int, DnatRule] = {}
+        self.stats = NetfilterStats()
+
+    def add_dnat(self, public_port: int, dest_host: str, dest_port: int) -> None:
+        if public_port in self._rules:
+            raise ValueError(f"port {public_port} already forwarded")
+        self._rules[public_port] = DnatRule(public_port, dest_host, dest_port)
+
+    def remove_dnat(self, public_port: int) -> None:
+        self._rules.pop(public_port, None)
+
+    def lookup(self, public_port: int) -> DnatRule | None:
+        return self._rules.get(public_port)
+
+    def translate(self, public_port: int) -> tuple[DnatRule, float]:
+        """Translate one request; returns (rule, cost_ns)."""
+        rule = self._rules.get(public_port)
+        if rule is None:
+            self.stats.dropped += 1
+            raise KeyError(f"no DNAT rule for port {public_port}")
+        self.stats.translations += 1
+        return rule, self.costs.iptables_dnat_ns
+
+    @property
+    def rules(self) -> list[DnatRule]:
+        return list(self._rules.values())

@@ -1,0 +1,115 @@
+"""Flow-level network stack.
+
+Models the *CPU cost* of network service, which is what the closed-loop
+throughput experiments need: every request/response pair costs TCP/IP
+processing (scaled by the kernel's tuning factor), a device traversal
+(which is where the platforms differ — bridge+veth, netfront/netback,
+gVisor's Go netstack, nested virtio), and per-byte copy/NIC time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.guest.config import KernelConfig
+from repro.perf.costs import CostModel
+
+
+class NetDevice(enum.Enum):
+    """How packets get in and out of the serving kernel."""
+
+    #: veth + bridge on the host kernel (Docker).
+    BRIDGE = "bridge"
+    #: Xen split driver (Xen-Containers, X-Containers).
+    NETFRONT = "netfront"
+    #: gVisor's user-space Go netstack.
+    GVISOR = "gvisor"
+    #: virtio-net inside a nested VM (Clear Containers).
+    NESTED_VIRTIO = "nested-virtio"
+    #: Direct NIC access (the bare-metal LibOS comparisons, Fig 6).
+    DIRECT = "direct"
+    #: Same-kernel loopback — no device traversal at all (the
+    #: Dedicated&Merged configuration of Fig 6c).
+    LOOPBACK = "loopback"
+
+
+@dataclass
+class NetStats:
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    connections: int = 0
+
+
+@dataclass
+class NetStack:
+    """Per-kernel network stack cost model."""
+
+    costs: CostModel = field(default_factory=CostModel)
+    config: KernelConfig = field(default_factory=KernelConfig)
+    device: NetDevice = NetDevice.BRIDGE
+    #: Extra multiplier from virtualization layers below the device
+    #: (Xen-Blanket in clouds, for instance).
+    io_overhead_factor: float = 1.0
+    stats: NetStats = field(default_factory=NetStats)
+
+    def device_cost_ns(self) -> float:
+        per_device = {
+            NetDevice.BRIDGE: self.costs.bridge_hop_ns,
+            NetDevice.NETFRONT: self.costs.netfront_ns,
+            NetDevice.GVISOR: self.costs.gvisor_netstack_ns,
+            NetDevice.NESTED_VIRTIO: self.costs.nested_virtio_ns,
+            NetDevice.DIRECT: self.costs.bridge_hop_ns * 0.5,
+            NetDevice.LOOPBACK: 0.0,
+        }
+        return per_device[self.device] * self.io_overhead_factor
+
+    def request_response_cost_ns(
+        self, bytes_in: int, bytes_out: int, intensity: float = 1.0
+    ) -> float:
+        """CPU cost of serving one request/response pair.
+
+        ``intensity`` scales the per-request TCP/IP work: key-value stores
+        with tiny pipelined segments do less stack work per operation than
+        a full HTTP exchange.
+        """
+        if bytes_in < 0 or bytes_out < 0:
+            raise ValueError("negative payload size")
+        if intensity <= 0:
+            raise ValueError(f"intensity must be positive: {intensity}")
+        stack = (
+            self.costs.host_netstack_ns
+            * intensity
+            * self.config.netstack_factor()
+        )
+        if self.device is NetDevice.LOOPBACK:
+            stack *= 0.45  # no checksums, no qdisc, no NIC interaction
+        wire = (bytes_in + bytes_out) * (
+            self.costs.net_per_byte_ns + self.costs.copy_per_byte_ns
+        )
+        self.stats.requests += 1
+        self.stats.bytes_in += bytes_in
+        self.stats.bytes_out += bytes_out
+        return stack + self.device_cost_ns() + wire
+
+    def connection_setup_cost_ns(self) -> float:
+        self.stats.connections += 1
+        return self.costs.tcp_handshake_ns + self.device_cost_ns()
+
+    def bulk_transfer_cost_ns(self, nbytes: int, mtu: int = 1448) -> float:
+        """CPU cost of a bulk stream (iperf): per-segment device+stack
+        costs amortized by segmentation offload plus per-byte time."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        segments = max(1, nbytes // (mtu * 16))  # GSO batches ~16 MSS
+        per_segment = (
+            self.costs.host_netstack_ns * 0.25
+            * self.config.netstack_factor()
+            + self.device_cost_ns() * 0.5
+        )
+        wire = nbytes * (
+            self.costs.net_per_byte_ns + self.costs.copy_per_byte_ns
+        )
+        self.stats.bytes_out += nbytes
+        return segments * per_segment + wire

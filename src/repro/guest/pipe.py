@@ -1,0 +1,94 @@
+"""Pipes — back the Pipe Throughput and Context Switching benchmarks
+(Fig 5) and fork/exec plumbing."""
+
+from __future__ import annotations
+
+import errno
+from collections import deque
+from dataclasses import dataclass
+
+PIPE_BUF_CAPACITY = 65536
+
+
+class PipeError(OSError):
+    def __init__(self, err: int) -> None:
+        super().__init__(err, errno.errorcode.get(err, str(err)))
+
+
+class Pipe:
+    """A byte pipe with a bounded kernel buffer."""
+
+    def __init__(self, capacity: int = PIPE_BUF_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._buffer = deque()
+        self._buffered = 0
+        self.read_open = True
+        self.write_open = True
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def buffered(self) -> int:
+        return self._buffered
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self._buffered
+
+    def write(self, data: bytes) -> int:
+        """Write up to the free space; returns bytes accepted (0 = would
+        block)."""
+        if not self.write_open:
+            raise PipeError(errno.EBADF)
+        if not self.read_open:
+            raise PipeError(errno.EPIPE)
+        accepted = data[: self.free_space]
+        if accepted:
+            self._buffer.append(bytes(accepted))
+            self._buffered += len(accepted)
+            self.bytes_written += len(accepted)
+        return len(accepted)
+
+    def read(self, count: int) -> bytes:
+        """Read up to ``count`` buffered bytes (b"" = empty: EOF if the
+        write end closed, otherwise would-block)."""
+        if not self.read_open:
+            raise PipeError(errno.EBADF)
+        if count < 0:
+            raise PipeError(errno.EINVAL)
+        out = bytearray()
+        while self._buffer and len(out) < count:
+            chunk = self._buffer.popleft()
+            take = count - len(out)
+            out += chunk[:take]
+            if take < len(chunk):
+                self._buffer.appendleft(chunk[take:])
+        self._buffered -= len(out)
+        self.bytes_read += len(out)
+        return bytes(out)
+
+    def close_read(self) -> None:
+        self.read_open = False
+
+    def close_write(self) -> None:
+        self.write_open = False
+
+    @property
+    def eof(self) -> bool:
+        return not self.write_open and self._buffered == 0
+
+
+@dataclass
+class PipeEnd:
+    """One fd's view of a pipe (installed into a process fd table)."""
+
+    pipe: Pipe
+    writable: bool
+
+    def close(self) -> None:
+        if self.writable:
+            self.pipe.close_write()
+        else:
+            self.pipe.close_read()

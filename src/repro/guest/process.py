@@ -1,0 +1,64 @@
+"""Processes, threads and address spaces.
+
+In the X-Containers model "processes are used for concurrency, while
+X-Containers provide isolation between containers" (§1) — but they still
+exist, still have separate address spaces for resource management, and
+still need dedicated kernel stacks (§4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ProcessState(enum.Enum):
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    ZOMBIE = "zombie"
+
+
+@dataclass
+class AddressSpace:
+    """Page-table footprint of one process."""
+
+    asid: int
+    pt_pages: int = 48
+    #: §4.3: X-LibOS mappings carry the global bit, so intra-container
+    #: switches keep kernel TLB entries.
+    kernel_global_mappings: bool = False
+
+    def cow_clone(self, new_asid: int) -> "AddressSpace":
+        return AddressSpace(
+            asid=new_asid,
+            pt_pages=self.pt_pages,
+            kernel_global_mappings=self.kernel_global_mappings,
+        )
+
+
+@dataclass
+class Process:
+    pid: int
+    ppid: int
+    name: str
+    aspace: AddressSpace
+    state: ProcessState = ProcessState.RUNNABLE
+    threads: int = 1
+    exit_code: int | None = None
+    #: File-descriptor table: fd -> kernel object (file, pipe end, socket).
+    fds: dict[int, object] = field(default_factory=dict)
+    umask: int = 0o022
+    uid: int = 0
+    children: list[int] = field(default_factory=list)
+
+    def lowest_free_fd(self) -> int:
+        fd = 0
+        while fd in self.fds:
+            fd += 1
+        return fd
+
+    def install_fd(self, obj: object) -> int:
+        fd = self.lowest_free_fd()
+        self.fds[fd] = obj
+        return fd

@@ -1,0 +1,116 @@
+"""seccomp syscall filtering (§6.1).
+
+    "Although there are mitigations such as seccomp and SELinux which
+     allow specification of system call filters for each container, in
+     practice it is extremely difficult to define a policy for arbitrary,
+     previously unknown applications."
+
+The model lets experiments quantify that sentence: a filter either
+*breaks* an application (blocks a syscall it needs) or leaves attack
+surface (allows syscalls it never uses).  For a previously-unknown
+application, a fixed profile cannot do better than the union of every
+app's needs — which is the Docker default profile's predicament.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.xen.hypercalls import LINUX_SYSCALL_SURFACE
+
+
+class SeccompAction(enum.Enum):
+    ALLOW = "allow"
+    ERRNO = "errno"  # fail the call with EPERM
+    KILL = "kill"
+
+
+class SeccompViolation(Exception):
+    def __init__(self, nr: int, action: SeccompAction) -> None:
+        super().__init__(f"syscall {nr} blocked by seccomp ({action.value})")
+        self.nr = nr
+        self.action = action
+
+
+@dataclass
+class SeccompFilter:
+    """An allowlist filter, like Docker's default profile."""
+
+    name: str
+    allowed: frozenset[int]
+    default_action: SeccompAction = SeccompAction.ERRNO
+    checks: int = 0
+    violations: list[int] = field(default_factory=list)
+
+    def check(self, nr: int) -> None:
+        """Raise unless ``nr`` is allowed."""
+        self.checks += 1
+        if nr in self.allowed:
+            return
+        self.violations.append(nr)
+        raise SeccompViolation(nr, self.default_action)
+
+    # ------------------------------------------------------------------
+    # Policy analysis
+    # ------------------------------------------------------------------
+    def breaks(self, needed: set[int]) -> set[int]:
+        """Syscalls the application needs but the filter blocks."""
+        return needed - self.allowed
+
+    def residual_surface(self, needed: set[int]) -> int:
+        """Allowed syscalls the application never uses — pure attack
+        surface kept open 'just in case'."""
+        return len(self.allowed - needed)
+
+    def surface_reduction(self) -> float:
+        """Fraction of the kernel interface the filter closes."""
+        return 1.0 - len(self.allowed) / LINUX_SYSCALL_SURFACE
+
+
+#: Docker's default profile blocks ~44 of ~350 syscalls; everything else
+#: stays open because SOME container might need it.
+DOCKER_DEFAULT_BLOCKED = 44
+
+
+def docker_default_profile() -> SeccompFilter:
+    """The shape of Docker's default seccomp profile: a large allowlist
+    chosen so arbitrary unknown applications keep working."""
+    allowed = frozenset(
+        range(LINUX_SYSCALL_SURFACE - DOCKER_DEFAULT_BLOCKED)
+    )
+    return SeccompFilter("docker-default", allowed)
+
+
+def tailored_profile(name: str, needed: set[int]) -> SeccompFilter:
+    """A per-application minimal profile — possible only when you know
+    the application in advance (which is the paper's point: you don't)."""
+    return SeccompFilter(f"tailored-{name}", frozenset(needed))
+
+
+@dataclass
+class PolicyDilemma:
+    """Quantifies §6.1 for a set of applications and one shared filter."""
+
+    filter_name: str
+    apps_broken: list[str]
+    mean_residual_surface: float
+    surface_reduction: float
+
+
+def evaluate_policy(
+    seccomp: SeccompFilter, app_needs: dict[str, set[int]]
+) -> PolicyDilemma:
+    broken = [
+        name for name, needed in app_needs.items()
+        if seccomp.breaks(needed)
+    ]
+    residuals = [
+        seccomp.residual_surface(needed) for needed in app_needs.values()
+    ]
+    return PolicyDilemma(
+        filter_name=seccomp.name,
+        apps_broken=broken,
+        mean_residual_surface=sum(residuals) / len(residuals),
+        surface_reduction=seccomp.surface_reduction(),
+    )

@@ -1,0 +1,171 @@
+"""POSIX signals.
+
+``__restore_rt`` — the signal-return trampoline glibc installs as every
+handler's return address — is literally the paper's Figure 2 example of a
+9-byte ABOM patch (``rt_sigreturn`` is syscall 15).  This module gives the
+guest kernel real signal semantics so that path can be exercised: masks,
+dispositions, default actions, handler dispatch, and the ``sigreturn``
+round trip that restores the interrupted context.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+SIGHUP = 1
+SIGINT = 2
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGTERM = 15
+SIGCHLD = 17
+SIGSTOP = 19
+
+NSIG = 64
+
+#: Signals whose disposition cannot be changed.
+UNBLOCKABLE = frozenset({SIGKILL, SIGSTOP})
+#: Signals whose default action terminates the process.
+DEFAULT_FATAL = frozenset({SIGHUP, SIGINT, SIGKILL, SIGSEGV, SIGTERM,
+                           SIGUSR1, SIGUSR2})
+
+
+class Disposition(enum.Enum):
+    DEFAULT = "default"
+    IGNORE = "ignore"
+    HANDLER = "handler"
+
+
+class SignalError(OSError):
+    pass
+
+
+@dataclass
+class SigAction:
+    disposition: Disposition = Disposition.DEFAULT
+    handler: Callable[[int], None] | None = None
+
+
+@dataclass
+class SavedContext:
+    """What the kernel stashes before running a handler and restores on
+    ``rt_sigreturn`` (the __restore_rt path)."""
+
+    mask: int
+    interrupted_state: dict = field(default_factory=dict)
+
+
+@dataclass
+class SignalState:
+    """Per-process signal bookkeeping."""
+
+    actions: dict[int, SigAction] = field(default_factory=dict)
+    #: Bitmask of blocked signals.
+    mask: int = 0
+    #: Bitmask of pending (delivered-but-blocked) signals.
+    pending: int = 0
+    #: Contexts saved across handler invocations (nesting allowed).
+    saved: list[SavedContext] = field(default_factory=list)
+    delivered: int = 0
+    sigreturns: int = 0
+
+    def action(self, sig: int) -> SigAction:
+        return self.actions.get(sig, SigAction())
+
+
+class SignalSubsystem:
+    """Signal delivery for one kernel instance.
+
+    The ``terminate`` callback is invoked when a default-fatal signal
+    lands with no handler (the kernel's exit path).
+    """
+
+    def __init__(self, terminate: Callable[[int, int], None]) -> None:
+        self._states: dict[int, SignalState] = {}
+        self._terminate = terminate
+
+    def state(self, pid: int) -> SignalState:
+        return self._states.setdefault(pid, SignalState())
+
+    # ------------------------------------------------------------------
+    # sigaction / sigprocmask
+    # ------------------------------------------------------------------
+    def sigaction(
+        self,
+        pid: int,
+        sig: int,
+        disposition: Disposition,
+        handler: Callable[[int], None] | None = None,
+    ) -> None:
+        self._check_sig(sig)
+        if sig in UNBLOCKABLE and disposition is not Disposition.DEFAULT:
+            raise SignalError(f"signal {sig} cannot be caught or ignored")
+        if disposition is Disposition.HANDLER and handler is None:
+            raise SignalError("HANDLER disposition needs a handler")
+        self.state(pid).actions[sig] = SigAction(disposition, handler)
+
+    def block(self, pid: int, sig: int) -> None:
+        self._check_sig(sig)
+        if sig in UNBLOCKABLE:
+            raise SignalError(f"signal {sig} cannot be blocked")
+        self.state(pid).mask |= 1 << sig
+
+    def unblock(self, pid: int, sig: int) -> None:
+        self._check_sig(sig)
+        state = self.state(pid)
+        state.mask &= ~(1 << sig)
+        if state.pending & (1 << sig):
+            state.pending &= ~(1 << sig)
+            self._deliver(pid, sig)
+
+    # ------------------------------------------------------------------
+    # kill / delivery
+    # ------------------------------------------------------------------
+    def kill(self, pid: int, sig: int) -> None:
+        self._check_sig(sig)
+        state = self.state(pid)
+        if state.mask & (1 << sig):
+            state.pending |= 1 << sig
+            return
+        self._deliver(pid, sig)
+
+    def _deliver(self, pid: int, sig: int) -> None:
+        state = self.state(pid)
+        action = state.action(sig)
+        if action.disposition is Disposition.IGNORE:
+            return
+        if action.disposition is Disposition.HANDLER:
+            # Save context, run the handler with the signal blocked (the
+            # default SA behaviour), then expect rt_sigreturn.
+            state.saved.append(SavedContext(mask=state.mask))
+            state.mask |= 1 << sig
+            state.delivered += 1
+            action.handler(sig)
+            return
+        # Default action.
+        if sig in DEFAULT_FATAL:
+            self._terminate(pid, sig)
+        # SIGCHLD etc.: default-ignore.
+
+    def sigreturn(self, pid: int) -> None:
+        """rt_sigreturn(2): restore the context saved before the handler
+        — the syscall behind Figure 2's ``__restore_rt``."""
+        state = self.state(pid)
+        if not state.saved:
+            raise SignalError("rt_sigreturn with no saved context")
+        context = state.saved.pop()
+        state.mask = context.mask
+        state.sigreturns += 1
+        # Anything that became deliverable while the handler ran.
+        for sig in range(1, NSIG):
+            if state.pending & (1 << sig) and not state.mask & (1 << sig):
+                state.pending &= ~(1 << sig)
+                self._deliver(pid, sig)
+
+    @staticmethod
+    def _check_sig(sig: int) -> None:
+        if not 1 <= sig < NSIG:
+            raise SignalError(f"invalid signal number {sig}")

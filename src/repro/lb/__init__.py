@@ -1,0 +1,6 @@
+"""Load balancing front-ends for the §5.7 case study."""
+
+from repro.lb.haproxy import HAProxyModel
+from repro.lb.cluster import LoadBalancedCluster, LbResult
+
+__all__ = ["HAProxyModel", "LoadBalancedCluster", "LbResult"]

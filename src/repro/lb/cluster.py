@@ -1,0 +1,152 @@
+"""The Fig 9 cluster: one load balancer in front of three NGINX servers.
+
+Four configurations:
+
+* ``docker-haproxy`` — HAProxy in a Docker container;
+* ``xcontainer-haproxy`` — HAProxy in an X-Container;
+* ``xcontainer-ipvs-nat`` — IPVS (kernel module inside the X-LibOS) in NAT
+  mode: responses flow back through the director;
+* ``xcontainer-ipvs-dr`` — IPVS direct routing: the director only forwards
+  requests; responses go straight to clients, shifting the bottleneck to
+  the NGINX backends (§5.7: "+12 %" then "another factor of 2.5").
+
+System throughput is the min of director capacity and aggregate backend
+capacity; each component is pinned to one vCPU as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cloud.instances import LOCAL_CLUSTER, CloudSite
+from repro.guest.ipvs import IPVS, IpvsMode
+from repro.lb.haproxy import HAProxyModel
+from repro.platforms.base import Platform
+from repro.platforms.docker import DockerPlatform
+from repro.platforms.x_container import XContainerPlatform
+from repro.workloads.base import ServerModel
+from repro.workloads.profiles import NGINX
+
+#: Fig 9 uses one worker process per NGINX server and a lighter static
+#: page than the Fig 3 macrobenchmark.
+BACKEND_PROFILE = replace(
+    NGINX, bytes_out=6000, app_work_ns=6000, processes=1
+)
+N_BACKENDS = 3
+
+#: IPVS director per-request stack intensity: NAT terminates nothing but
+#: tracks and rewrites BOTH flows, with every response byte transiting the
+#: director; DR only rewrites the inbound frame's MAC.
+NAT_STACK_INTENSITY = 2.6
+DR_STACK_INTENSITY = 0.22
+
+
+@dataclass
+class LbResult:
+    config: str
+    throughput_rps: float
+    bottleneck: str  # "director" or "backends"
+    director_capacity_rps: float
+    backend_capacity_rps: float
+
+
+class LoadBalancedCluster:
+    """Builds and measures the four Fig 9 configurations."""
+
+    def __init__(self, site: CloudSite = LOCAL_CLUSTER) -> None:
+        self.site = site
+        self.costs = site.costs()
+
+    # ------------------------------------------------------------------
+    # Component capacities
+    # ------------------------------------------------------------------
+    def backend_capacity(self, platform: Platform,
+                         direct_routing: bool = False) -> float:
+        """One NGINX backend on one vCPU."""
+        model = ServerModel(platform, self.site, port_forwarding=False)
+        per_request = model.per_request_ns(BACKEND_PROFILE)
+        if direct_routing:
+            # DR backends answer directly to clients: they do the VIP's ARP
+            # handling and full response transmission themselves.
+            per_request *= 1.08
+        return 1e9 / per_request
+
+    def ipvs_director_capacity(self, platform: Platform,
+                               mode: IpvsMode) -> float:
+        kernel = platform.make_kernel()
+        kernel.modules.load("ip_vs")
+        kernel.modules.load("ip_vs_rr")
+        ipvs = IPVS(kernel.modules, mode, self.costs)
+        for i in range(N_BACKENDS):
+            ipvs.add_server(f"10.0.0.{i + 2}", 80)
+        netstack = platform.make_netstack(kernel)
+        if mode is IpvsMode.NAT:
+            stack = netstack.request_response_cost_ns(
+                BACKEND_PROFILE.bytes_in,
+                BACKEND_PROFILE.bytes_out,
+                NAT_STACK_INTENSITY,
+            )
+        else:
+            stack = netstack.request_response_cost_ns(
+                BACKEND_PROFILE.bytes_in, 0, DR_STACK_INTENSITY
+            )
+        per_request = stack + ipvs.director_cost_ns(
+            BACKEND_PROFILE.bytes_in, BACKEND_PROFILE.bytes_out
+        )
+        return 1e9 / per_request
+
+    # ------------------------------------------------------------------
+    # The four configurations
+    # ------------------------------------------------------------------
+    def measure(self, config: str) -> LbResult:
+        xc = XContainerPlatform(self.costs)
+        if config == "docker-haproxy":
+            docker = DockerPlatform(self.costs)
+            director = HAProxyModel(docker).capacity_rps()
+            backend = self.backend_capacity(docker)
+        elif config == "xcontainer-haproxy":
+            director = HAProxyModel(xc).capacity_rps()
+            backend = self.backend_capacity(xc)
+        elif config == "xcontainer-ipvs-nat":
+            director = self.ipvs_director_capacity(xc, IpvsMode.NAT)
+            backend = self.backend_capacity(xc)
+        elif config == "xcontainer-ipvs-dr":
+            director = self.ipvs_director_capacity(
+                xc, IpvsMode.DIRECT_ROUTING
+            )
+            backend = self.backend_capacity(xc, direct_routing=True)
+        else:
+            raise KeyError(f"unknown Fig 9 configuration {config!r}")
+        aggregate_backend = N_BACKENDS * backend
+        throughput = min(director, aggregate_backend)
+        return LbResult(
+            config=config,
+            throughput_rps=throughput,
+            bottleneck="director" if director < aggregate_backend
+            else "backends",
+            director_capacity_rps=director,
+            backend_capacity_rps=aggregate_backend,
+        )
+
+    def measure_all(self) -> dict[str, LbResult]:
+        return {
+            config: self.measure(config)
+            for config in (
+                "docker-haproxy",
+                "xcontainer-haproxy",
+                "xcontainer-ipvs-nat",
+                "xcontainer-ipvs-dr",
+            )
+        }
+
+    def docker_cannot_use_ipvs(self) -> bool:
+        """§5.7: IPVS needs module loading — impossible inside Docker."""
+        from repro.guest.modules import ModuleLoadError
+
+        docker = DockerPlatform(self.costs)
+        kernel = docker.make_kernel()
+        try:
+            kernel.modules.load("ip_vs")
+        except ModuleLoadError:
+            return True
+        return False

@@ -1,0 +1,54 @@
+"""HAProxy — the user-level load balancer baseline (§5.7).
+
+    "HAProxy is a single-threaded, event-driven proxy server widely
+     deployed in production systems."
+
+Per proxied request the director terminates the client connection and opens
+(or reuses) a backend connection: two full passes through its network
+stack, a batch of syscalls (epoll/accept/recv/send on both sides), and the
+proxy's own event-loop work.  Being user-level is exactly why the syscall
+path dominates — and why X-Containers double its throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.base import Platform
+
+#: Syscalls per proxied request across both connections.
+HAPROXY_SYSCALLS = 22.0
+#: Event-loop + header rewrite work per request (ns).
+HAPROXY_APP_NS = 3400.0
+#: Socket/kernel work beyond the network stack (ns, reference kernel).
+HAPROXY_KERNEL_NS = 2000.0
+
+
+@dataclass
+class HAProxyModel:
+    """HAProxy running on ``platform`` (Docker or an X-Container)."""
+
+    platform: Platform
+    request_bytes: int = 500
+    response_bytes: int = 6000
+
+    def per_request_ns(self) -> float:
+        p = self.platform
+        netstack = p.make_netstack(p.make_kernel())
+        client_side = netstack.request_response_cost_ns(
+            self.request_bytes, self.response_bytes
+        )
+        backend_side = netstack.request_response_cost_ns(
+            self.request_bytes, self.response_bytes
+        )
+        return (
+            HAPROXY_SYSCALLS * p.syscall_cost_ns()
+            + HAPROXY_KERNEL_NS * p.kernel_work_factor()
+            + HAPROXY_APP_NS
+            + client_side
+            + backend_side
+        )
+
+    def capacity_rps(self) -> float:
+        """Single-threaded: one core, period."""
+        return 1e9 / self.per_request_ns()

@@ -1,0 +1,90 @@
+"""Event tracing — ftrace for the simulator.
+
+§3.1 argues that X-Containers keep "existing software development,
+profiling, debugging, and deploying tools" usable; this module is the
+repository's own instance of that idea: a ring-buffer tracer any
+component can emit into, with filtering and a text renderer.
+
+Attach a :class:`Tracer` to an :class:`~repro.core.xcontainer.XContainer`
+(``xc.attach_tracer(tracer)``) to capture syscall forwards, lightweight
+dispatches, and ABOM patches with simulated timestamps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.perf.clock import SimClock
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    ts_ns: float
+    category: str
+    name: str
+    detail: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = " ".join(
+            f"{key}={_fmt(value)}" for key, value in self.detail.items()
+        )
+        return f"[{self.ts_ns / 1e3:12.3f}us] {self.category:10s} " \
+               f"{self.name:24s} {extras}".rstrip()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, int) and value > 4096:
+        return hex(value)
+    return str(value)
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, clock: SimClock, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.clock = clock
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.enabled = True
+        self.dropped = 0
+
+    def emit(self, category: str, name: str, **detail) -> None:
+        if not self.enabled:
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(self.clock.now_ns, category, name, detail)
+        )
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def events(self, category: str | None = None,
+               name: str | None = None) -> list[TraceEvent]:
+        out: Iterable[TraceEvent] = self._events
+        if category is not None:
+            out = (e for e in out if e.category == category)
+        if name is not None:
+            out = (e for e in out if e.name == name)
+        return list(out)
+
+    def count(self, category: str | None = None) -> int:
+        return len(self.events(category))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def render(self, limit: int = 50) -> str:
+        return "\n".join(e.render() for e in list(self._events)[-limit:])
+
+    def span_ns(self, category: str) -> float:
+        """Time between the first and last event of a category."""
+        events = self.events(category)
+        if len(events) < 2:
+            return 0.0
+        return events[-1].ts_ns - events[0].ts_ns

@@ -1,0 +1,33 @@
+"""Container-runtime models: the paper's comparison platforms (§5.1)."""
+
+from repro.platforms.base import EmulatedRun, Platform
+from repro.platforms.clear import ClearContainerPlatform
+from repro.platforms.docker import DockerPlatform
+from repro.platforms.graphene import GraphenePlatform
+from repro.platforms.gvisor import GVisorPlatform
+from repro.platforms.registry import (
+    CLOUD_CONFIGURATIONS,
+    cloud_configurations,
+    get_platform,
+    platform_names,
+)
+from repro.platforms.unikernel import UnikernelPlatform, UnsupportedWorkload
+from repro.platforms.x_container import XContainerPlatform
+from repro.platforms.xen_container import XenContainerPlatform
+
+__all__ = [
+    "Platform",
+    "EmulatedRun",
+    "DockerPlatform",
+    "GVisorPlatform",
+    "ClearContainerPlatform",
+    "XenContainerPlatform",
+    "XContainerPlatform",
+    "GraphenePlatform",
+    "UnikernelPlatform",
+    "UnsupportedWorkload",
+    "get_platform",
+    "platform_names",
+    "cloud_configurations",
+    "CLOUD_CONFIGURATIONS",
+]

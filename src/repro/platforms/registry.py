@@ -1,0 +1,70 @@
+"""Platform registry: the ten §5.1 configurations by name.
+
+    "We therefore used ten configurations: Docker, Xen-Container,
+     X-Container, gVisor, and Clear-Container, each with an -unpatched
+     version."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.perf.costs import CostModel
+from repro.platforms.base import Platform
+from repro.platforms.clear import ClearContainerPlatform
+from repro.platforms.docker import DockerPlatform
+from repro.platforms.graphene import GraphenePlatform
+from repro.platforms.gvisor import GVisorPlatform
+from repro.platforms.unikernel import UnikernelPlatform
+from repro.platforms.x_container import XContainerPlatform
+from repro.platforms.xen_container import XenContainerPlatform
+
+_FACTORIES: dict[str, Callable[..., Platform]] = {
+    "docker": DockerPlatform,
+    "gvisor": GVisorPlatform,
+    "clear-container": ClearContainerPlatform,
+    "xen-container": XenContainerPlatform,
+    "x-container": XContainerPlatform,
+    "graphene": GraphenePlatform,
+    "unikernel": UnikernelPlatform,
+}
+
+#: The ten cloud configurations of §5.1 (Graphene/Unikernel are the §5.5
+#: bare-metal comparisons and are not part of this list).
+CLOUD_CONFIGURATIONS = [
+    "docker",
+    "xen-container",
+    "x-container",
+    "gvisor",
+    "clear-container",
+]
+
+
+def platform_names() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def get_platform(
+    name: str,
+    costs: CostModel | None = None,
+    patched: bool = True,
+    **kwargs,
+) -> Platform:
+    """Instantiate a platform by registry name."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {', '.join(platform_names())}"
+        )
+    return factory(costs=costs, patched=patched, **kwargs)
+
+
+def cloud_configurations(
+    costs: CostModel | None = None,
+) -> dict[str, Platform]:
+    """All ten §5.1 configurations, keyed 'name' / 'name-unpatched'."""
+    configs: dict[str, Platform] = {}
+    for name in CLOUD_CONFIGURATIONS:
+        configs[name] = get_platform(name, costs, patched=True)
+        configs[f"{name}-unpatched"] = get_platform(name, costs, patched=False)
+    return configs

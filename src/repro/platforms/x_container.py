@@ -1,0 +1,96 @@
+"""X-Containers — the paper's platform.
+
+Syscalls: ABOM converts the recognized fraction into function calls
+(Table 1 shows >92 % dynamically for everything but MySQL); the remainder
+traps into the X-Kernel and is transferred to the X-LibOS in the same
+address space.  Neither path touches protected kernel mappings, so the
+Meltdown patch changes nothing (§5.4).
+
+Costs that *rise* relative to Docker: page-table updates are validated
+hypercalls, so fork/exec/context-switch are slower (§5.4) — but the global
+bit on LibOS mappings spares the kernel-range TLB refill on intra-container
+switches (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.arch.binary import Binary
+from repro.core.xcontainer import XContainer
+from repro.guest.config import KernelConfig
+from repro.guest.kernel import GuestKernel, HypercallMmu
+from repro.guest.netstack import NetDevice
+from repro.perf.clock import SimClock
+from repro.platforms.base import EmulatedRun, Platform
+
+
+class XContainerPlatform(Platform):
+    name = "X-Container"
+    multicore_processing = True
+    supports_kernel_modules = True
+
+    def __init__(
+        self,
+        costs=None,
+        patched: bool = True,
+        abom_enabled: bool = True,
+        converted_fraction: float = 0.97,
+        smp: bool = True,
+    ) -> None:
+        super().__init__(costs, patched)
+        self.abom_enabled = abom_enabled
+        #: Fraction of dynamic syscall invocations ABOM converts for the
+        #: workload at hand (Table 1; measured per application by the
+        #: table1 experiment, defaulted here to the typical >92 % band).
+        self.converted_fraction = converted_fraction
+        self.smp = smp
+
+    def syscall_cost_ns(self) -> float:
+        if not self.abom_enabled:
+            return self.costs.xc_forwarded_syscall_ns
+        f = self.converted_fraction
+        return (
+            f * self.costs.xc_func_call_syscall_ns
+            + (1.0 - f) * self.costs.xc_forwarded_syscall_ns
+        )
+
+    def kernel_work_factor(self) -> float:
+        return self.costs.xlibos_efficiency
+
+    def net_device(self) -> NetDevice:
+        return NetDevice.NETFRONT
+
+    def make_kernel(self, clock: SimClock | None = None) -> GuestKernel:
+        config = KernelConfig.xlibos(smp=self.smp)
+        return GuestKernel(
+            config, self.costs, clock,
+            mmu=HypercallMmu(self.costs, clock),
+            net_device=NetDevice.NETFRONT,
+        )
+
+    def ctx_switch_cost_ns(self, nr_running: int = 2) -> float:
+        kernel = self.make_kernel()
+        # global_kernel_mappings=True via the xlibos config: no kernel
+        # TLB refill, but the page-table install is a hypercall.
+        return kernel.runqueue.switch_cost_ns(nr_running)
+
+    def spawn_ms(self) -> float:
+        return self.costs.xl_toolstack_ms + self.costs.xlibos_boot_ms
+
+    # ------------------------------------------------------------------
+    # Emulated execution uses the REAL X-Container machinery, including
+    # ABOM patching real bytes — not the averaged cost above.
+    # ------------------------------------------------------------------
+    def run_binary(
+        self, binary: Binary, clock: SimClock | None = None
+    ) -> EmulatedRun:
+        clock = clock if clock is not None else SimClock()
+        kernel = self.make_kernel(clock)
+        xc = XContainer(
+            kernel, self.costs, clock, abom_enabled=self.abom_enabled
+        )
+        result = xc.run(binary)
+        return EmulatedRun(
+            result.instructions,
+            result.elapsed_ns,
+            xc.libos.stats.total_syscalls,
+        )

@@ -1,0 +1,157 @@
+"""Workload modelling: request profiles and the closed-loop server model.
+
+A :class:`RequestProfile` describes what serving ONE request costs in
+platform-independent terms: how many syscalls the server issues, how much
+kernel work (socket buffers, TCP, VFS) and application work it does, the
+payload sizes, and how many involuntary context switches it suffers.  The
+:class:`ServerModel` then prices a profile on a concrete platform and
+cloud site:
+
+    per_request_cpu = syscalls * platform.syscall_cost
+                    + kernel_work * platform.kernel_work_factor
+                    + app_work
+                    + netstack(request/response) * site.io_scale
+                    + platform.net_request_extra          (DNAT etc.)
+                    + ctx_switches * platform.ctx_switch_cost
+
+Closed-loop throughput is then ``parallelism / per_request_cpu`` (capped by
+the NIC line rate), and mean latency follows from Little's law at the
+client's concurrency — exactly how the paper's wrk/ab/memtier runs behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cloud.instances import CloudSite, LOCAL_CLUSTER
+from repro.perf.rand import DeterministicRng
+from repro.platforms.base import Platform
+
+#: 10 Gbit/s line rate of the paper's local cluster switch (§5.5).
+LINE_RATE_BITS_PER_S = 10e9
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """Platform-independent cost description of one served request."""
+
+    name: str
+    #: Syscall invocations per request on the server.
+    syscalls: float
+    #: Kernel work per request (ns on the reference kernel), excluding the
+    #: network stack (priced separately).
+    kernel_work_ns: float
+    #: User-space application work per request (ns).
+    app_work_ns: float
+    bytes_in: int
+    bytes_out: int
+    #: Involuntary context switches per request.
+    ctx_switches: float = 0.0
+    #: Scale on the per-request TCP/IP stack work (pipelined small-segment
+    #: protocols do less stack work per operation than full HTTP).
+    net_intensity: float = 1.0
+    #: Worker processes the server runs (Fig 6b uses 4).
+    processes: int = 1
+    #: Threads per worker available for parallelism.
+    threads_per_process: int = 1
+
+    def with_processes(self, processes: int) -> "RequestProfile":
+        return replace(self, processes=processes)
+
+
+@dataclass
+class ServerResult:
+    """One measured configuration."""
+
+    platform: str
+    workload: str
+    throughput_rps: float
+    mean_latency_ms: float
+    per_request_us: float
+
+
+class ServerModel:
+    """Prices a request profile on one platform at one site."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        site: CloudSite = LOCAL_CLUSTER,
+        rng: DeterministicRng | None = None,
+        port_forwarding: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.site = site
+        self.rng = rng
+        #: §5.3 exposes cloud servers via iptables DNAT; the §5.5 local
+        #: cluster talks to servers directly.
+        self.port_forwarding = port_forwarding
+
+    # ------------------------------------------------------------------
+    # Cost composition
+    # ------------------------------------------------------------------
+    def per_request_ns(self, profile: RequestProfile) -> float:
+        p = self.platform
+        netstack = p.make_netstack(p.make_kernel())
+        net = (
+            netstack.request_response_cost_ns(
+                profile.bytes_in, profile.bytes_out, profile.net_intensity
+            )
+            * self.site.io_scale
+        )
+        extra = p.net_request_extra_ns() if self.port_forwarding else 0.0
+        total = (
+            profile.syscalls * p.syscall_cost_ns()
+            + profile.kernel_work_ns * p.kernel_work_factor()
+            + profile.app_work_ns
+            + net
+            + extra
+            + profile.ctx_switches * p.ctx_switch_cost_ns()
+        )
+        return total * self.site.cost_scale
+
+    def parallelism(self, profile: RequestProfile) -> float:
+        """Cores the server can actually keep busy."""
+        processes = profile.processes
+        if not self.platform.multicore_processing:
+            # §2.3: gVisor/UML spawn multiple processes but run only one
+            # at a time (threads within it still run).
+            processes = 1
+        if self.platform.max_processes is not None:
+            processes = min(processes, self.platform.max_processes)
+        wanted = processes * profile.threads_per_process
+        return float(min(wanted, self.site.machine.threads))
+
+    def line_rate_rps(self, profile: RequestProfile) -> float:
+        bits = (profile.bytes_in + profile.bytes_out) * 8
+        if bits == 0:
+            return float("inf")
+        return LINE_RATE_BITS_PER_S / bits
+
+    # ------------------------------------------------------------------
+    # Closed-loop measurement
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        profile: RequestProfile,
+        concurrency: int = 32,
+        noise: float = 0.0,
+    ) -> ServerResult:
+        """Throughput/latency under a closed-loop client."""
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1: {concurrency}")
+        per_request = self.per_request_ns(profile)
+        if noise and self.rng is not None:
+            per_request *= self.rng.gauss_factor(noise)
+        cpu_rps = self.parallelism(profile) * 1e9 / per_request
+        throughput = min(cpu_rps, self.line_rate_rps(profile))
+        # Little's law: N = X * R  =>  R = N / X.
+        latency_ms = concurrency / throughput * 1e3
+        return ServerResult(
+            platform=self.platform.name
+            + ("" if self.platform.patched else "-unpatched"),
+            workload=profile.name,
+            throughput_rps=throughput,
+            mean_latency_ms=latency_ms,
+            per_request_us=per_request / 1e3,
+        )

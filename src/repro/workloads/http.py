@@ -1,0 +1,174 @@
+"""Functional HTTP layer: a static server and a wrk-like client.
+
+Not a cost model — actual request parsing and file serving over the
+functional socket fabric (:mod:`repro.guest.socket`), with bytes read out
+of the serving kernel's RamFS.  Used by the end-to-end scenarios and the
+full-stack example; the priced models in :mod:`repro.workloads.base`
+remain the source of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.socket import SocketError, SocketLayer, VirtualNetwork
+from repro.guest.vfs import VfsError
+
+HTTP_OK = 200
+HTTP_NOT_FOUND = 404
+HTTP_BAD_REQUEST = 400
+
+_REASONS = {200: "OK", 404: "Not Found", 400: "Bad Request"}
+
+
+class HttpError(ValueError):
+    pass
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def parse_request(raw: bytes) -> HttpRequest:
+    """Parse a request head (``METHOD /path HTTP/1.1`` + headers)."""
+    try:
+        text = raw.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin1 total
+        raise HttpError("undecodable request") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HttpError(f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            break
+        if ":" not in line:
+            raise HttpError(f"malformed header {line!r}")
+        key, value = line.split(":", 1)
+        headers[key.strip().lower()] = value.strip()
+    return HttpRequest(method.upper(), path, headers)
+
+
+def build_response(status: int, body: bytes,
+                   content_type: str = "text/html") -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Server: repro-nginx\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def parse_response(raw: bytes) -> tuple[int, bytes]:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].split(b" ")
+    if len(status_line) < 2:
+        raise HttpError("malformed response")
+    return int(status_line[1]), body
+
+
+@dataclass
+class ServerStats:
+    requests: int = 0
+    errors: int = 0
+    bytes_served: int = 0
+
+
+class StaticHttpServer:
+    """Serves files from its kernel's RamFS — a functional NGINX."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        network: VirtualNetwork,
+        address: tuple[str, int] = ("10.0.0.1", 80),
+        docroot: str = "/srv",
+    ) -> None:
+        self.kernel = kernel
+        self.sockets = SocketLayer(kernel, network)
+        self.docroot = docroot.rstrip("/")
+        self.stats = ServerStats()
+        self.worker = kernel.spawn("nginx-worker")
+        self.listen_fd = self.sockets.socket(self.worker.pid)
+        self.sockets.bind(self.worker.pid, self.listen_fd, address)
+        self.sockets.listen(self.worker.pid, self.listen_fd)
+
+    def publish(self, path: str, body: bytes) -> None:
+        self.kernel.vfs.create(f"{self.docroot}{path}", body)
+
+    def handle_one(self) -> bool:
+        """Accept and serve one connection; False if none pending."""
+        pid = self.worker.pid
+        try:
+            conn = self.sockets.accept(pid, self.listen_fd)
+        except SocketError:
+            return False
+        raw = self.sockets.recv(pid, conn, 65536)
+        response = self._respond(raw)
+        self.sockets.send(pid, conn, response)
+        self.sockets.close(pid, conn)
+        return True
+
+    def _respond(self, raw: bytes) -> bytes:
+        self.stats.requests += 1
+        try:
+            request = parse_request(raw)
+        except HttpError:
+            self.stats.errors += 1
+            return build_response(HTTP_BAD_REQUEST, b"bad request")
+        if request.method != "GET":
+            self.stats.errors += 1
+            return build_response(HTTP_BAD_REQUEST, b"only GET here")
+        full_path = f"{self.docroot}{request.path}"
+        try:
+            fd = self.kernel.open(self.worker.pid, full_path)
+        except VfsError:
+            self.stats.errors += 1
+            return build_response(HTTP_NOT_FOUND, b"no such page")
+        body = bytearray()
+        while True:
+            chunk = self.kernel.read(self.worker.pid, fd, 4096)
+            if not chunk:
+                break
+            body += chunk
+        self.kernel.close(self.worker.pid, fd)
+        self.stats.bytes_served += len(body)
+        return build_response(HTTP_OK, bytes(body))
+
+
+class HttpClient:
+    """A wrk-flavoured synchronous client (one connection per request)."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        network: VirtualNetwork,
+        server_pump,
+    ) -> None:
+        self.kernel = kernel
+        self.sockets = SocketLayer(kernel, network)
+        self.proc = kernel.spawn("wrk")
+        #: Callable that lets the server process its backlog (the
+        #: simulation is single-threaded).
+        self._pump = server_pump
+
+    def get(self, address: tuple[str, int], path: str) -> tuple[int, bytes]:
+        fd = self.sockets.socket(self.proc.pid)
+        self.sockets.connect(self.proc.pid, fd, address)
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: {address[0]}\r\n\r\n"
+        ).encode("latin-1")
+        self.sockets.send(self.proc.pid, fd, request)
+        self._pump()
+        raw = self.sockets.recv(self.proc.pid, fd, 1 << 20)
+        self.sockets.close(self.proc.pid, fd)
+        return parse_response(raw)

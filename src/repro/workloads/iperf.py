@@ -1,0 +1,51 @@
+"""iperf — TCP bulk-transfer throughput (Fig 5).
+
+The sender streams a large buffer; throughput is limited by either the
+10 Gbit/s line rate or the CPU cost of pushing segments through the
+platform's stack and device.  In the paper, iperf is roughly flat across
+Docker / Xen-Container / X-Container (line-rate bound) and lower on gVisor
+(its netstack is CPU-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instances import CloudSite, LOCAL_CLUSTER
+from repro.platforms.base import Platform
+
+LINE_RATE_GBITS = 10.0
+
+
+@dataclass
+class IperfResult:
+    platform: str
+    gbits_per_s: float
+    cpu_bound: bool
+
+
+def iperf_bench(
+    platform: Platform,
+    site: CloudSite = LOCAL_CLUSTER,
+    transfer_mb: int = 256,
+) -> IperfResult:
+    """Simulate one iperf run of ``transfer_mb`` megabytes."""
+    if transfer_mb <= 0:
+        raise ValueError(f"transfer_mb must be positive: {transfer_mb}")
+    nbytes = transfer_mb * 1024 * 1024
+    netstack = platform.make_netstack(platform.make_kernel())
+    cpu_ns = (
+        netstack.bulk_transfer_cost_ns(nbytes)
+        * site.io_scale
+        * site.cost_scale
+    )
+    # A sender also issues write() syscalls, one per 128 KB chunk.
+    chunks = nbytes / (128 * 1024)
+    cpu_ns += chunks * platform.syscall_cost_ns()
+    cpu_gbits = (nbytes * 8) / cpu_ns  # bits per ns == Gbit/s
+    achieved = min(cpu_gbits, LINE_RATE_GBITS)
+    return IperfResult(
+        platform=platform.name + ("" if platform.patched else "-unpatched"),
+        gbits_per_s=achieved,
+        cpu_bound=cpu_gbits < LINE_RATE_GBITS,
+    )

@@ -1,0 +1,128 @@
+"""The Fig 6c application, functionally: PHP pages backed by MiniDB.
+
+A :class:`PhpApp` renders a dynamic page by issuing one read and one
+write query (equal probability of read/write per the paper — here one of
+each per page) to a database server across the socket fabric.  The
+database can live in another kernel (Shared / Dedicated, Fig 7a/7b) or in
+the same kernel over loopback (Dedicated&Merged, Fig 7c) — the merged
+deployment is what only X-Containers can do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.minidb import MiniDB, serve_query
+from repro.guest.netstack import NetDevice
+from repro.guest.socket import SocketError, SocketLayer, VirtualNetwork
+
+DB_PORT = 3306
+
+
+class MySqlServer:
+    """MiniDB behind the text wire protocol, one kernel process."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        network: VirtualNetwork,
+        address: tuple[str, int],
+    ) -> None:
+        self.kernel = kernel
+        self.db = MiniDB(kernel.clock)
+        self.sockets = SocketLayer(kernel, network)
+        self.proc = kernel.spawn("mysqld")
+        self.listen_fd = self.sockets.socket(self.proc.pid)
+        self.sockets.bind(self.proc.pid, self.listen_fd, address)
+        self.sockets.listen(self.proc.pid, self.listen_fd)
+        self.queries_served = 0
+
+    def bootstrap_schema(self) -> None:
+        self.db.execute("CREATE TABLE counters (name, hits)")
+        self.db.execute("INSERT INTO counters VALUES ('page', 0)")
+
+    def pump(self) -> int:
+        """Serve every pending connection; returns queries handled."""
+        served = 0
+        while True:
+            try:
+                conn = self.sockets.accept(self.proc.pid, self.listen_fd)
+            except SocketError:
+                return served
+            request = self.sockets.recv(self.proc.pid, conn, 65536)
+            self.sockets.send(
+                self.proc.pid, conn, serve_query(self.db, request)
+            )
+            self.sockets.close(self.proc.pid, conn)
+            self.queries_served += 1
+            served += 1
+
+
+@dataclass
+class PageResult:
+    body: str
+    hits: int
+
+
+class PhpApp:
+    """The PHP CGI server side: renders pages against a database."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        network: VirtualNetwork,
+        db_address: tuple[str, int],
+        db_pump,
+    ) -> None:
+        self.kernel = kernel
+        self.sockets = SocketLayer(kernel, network)
+        self.proc = kernel.spawn("php")
+        self.db_address = db_address
+        self._db_pump = db_pump
+        self.pages_rendered = 0
+
+    def _query(self, sql: str) -> bytes:
+        fd = self.sockets.socket(self.proc.pid)
+        self.sockets.connect(self.proc.pid, fd, self.db_address)
+        self.sockets.send(self.proc.pid, fd, b"QUERY " + sql.encode())
+        self._db_pump()
+        reply = self.sockets.recv(self.proc.pid, fd, 65536)
+        self.sockets.close(self.proc.pid, fd)
+        if reply.startswith(b"ERR"):
+            raise RuntimeError(reply.decode())
+        return reply
+
+    def render_page(self) -> PageResult:
+        """One page: read the counter, increment it (one read + one
+        write query, §5.5)."""
+        rows = self._query("SELECT hits FROM counters WHERE name = 'page'")
+        hits = int(rows[len(b"ROWS "):].split(b";")[0])
+        self._query(
+            f"UPDATE counters SET hits = {hits + 1} WHERE name = 'page'"
+        )
+        self.pages_rendered += 1
+        return PageResult(
+            body=f"<html>visits: {hits + 1}</html>", hits=hits + 1
+        )
+
+
+def build_dedicated_deployment(clock=None):
+    """Fig 7b: PHP and MySQL in separate kernels over the virtual net."""
+    network = VirtualNetwork(clock=clock)
+    db_kernel = GuestKernel(clock=clock, net_device=NetDevice.NETFRONT)
+    mysql = MySqlServer(db_kernel, network, ("10.0.0.2", DB_PORT))
+    mysql.bootstrap_schema()
+    php_kernel = GuestKernel(clock=clock, net_device=NetDevice.NETFRONT)
+    php = PhpApp(php_kernel, network, ("10.0.0.2", DB_PORT), mysql.pump)
+    return php, mysql
+
+
+def build_merged_deployment(clock=None):
+    """Fig 7c: PHP and MySQL in ONE kernel, queries over loopback."""
+    network = VirtualNetwork(clock=clock)
+    kernel = GuestKernel(clock=clock, net_device=NetDevice.LOOPBACK)
+    mysql = MySqlServer(kernel, network, ("127.0.0.1", DB_PORT))
+    mysql.bootstrap_schema()
+    php = PhpApp(kernel, network, ("127.0.0.1", DB_PORT), mysql.pump)
+    return php, mysql

@@ -1,0 +1,78 @@
+"""Grant tables — Xen's shared-memory mechanism for split drivers (§4.1).
+
+    "data is transferred using shared memory (asynchronous buffer
+     descriptor rings)"
+
+A domain *grants* access to one of its pages; the peer domain *maps* the
+grant.  The split network/block drivers move payloads through granted ring
+pages.  Costs: granting is cheap bookkeeping, mapping is a hypercall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xen.hypercalls import HypercallTable
+
+
+@dataclass
+class GrantRef:
+    ref: int
+    owner_domid: int
+    page_addr: int
+    readonly: bool
+    mapped_by: int | None = None
+
+
+class GrantError(Exception):
+    pass
+
+
+class GrantTable:
+    """Grant bookkeeping for one hypervisor instance."""
+
+    def __init__(self, hypercalls: HypercallTable) -> None:
+        self.hypercalls = hypercalls
+        self._grants: dict[int, GrantRef] = {}
+        self._next_ref = 1
+
+    def grant_access(
+        self, owner_domid: int, page_addr: int, readonly: bool = False
+    ) -> int:
+        ref = self._next_ref
+        self._next_ref += 1
+        self._grants[ref] = GrantRef(ref, owner_domid, page_addr, readonly)
+        return ref
+
+    def map_grant(self, ref: int, mapper_domid: int) -> GrantRef:
+        grant = self._grants.get(ref)
+        if grant is None:
+            raise GrantError(f"no such grant ref {ref}")
+        if grant.owner_domid == mapper_domid:
+            raise GrantError("domain cannot map its own grant")
+        if grant.mapped_by is not None:
+            raise GrantError(f"grant {ref} already mapped")
+        self.hypercalls.call("grant_table_op")
+        grant.mapped_by = mapper_domid
+        return grant
+
+    def unmap_grant(self, ref: int, mapper_domid: int) -> None:
+        grant = self._grants.get(ref)
+        if grant is None:
+            raise GrantError(f"no such grant ref {ref}")
+        if grant.mapped_by != mapper_domid:
+            raise GrantError(f"grant {ref} not mapped by domain {mapper_domid}")
+        self.hypercalls.call("grant_table_op")
+        grant.mapped_by = None
+
+    def end_access(self, ref: int) -> None:
+        grant = self._grants.get(ref)
+        if grant is None:
+            return
+        if grant.mapped_by is not None:
+            raise GrantError(f"grant {ref} still mapped")
+        del self._grants[ref]
+
+    @property
+    def active_grants(self) -> int:
+        return len(self._grants)

@@ -1,0 +1,115 @@
+"""Remus-style fault tolerance (§3.3's "fault tolerance").
+
+High-frequency checkpoint replication: the primary's dirty state is
+shipped to a backup every epoch, and *outbound network output is buffered
+until the epoch that produced it is durably replicated* — the invariant
+that makes failover externally transparent.
+
+The model runs epochs over a workload description (dirty pages and output
+packets per epoch) and accounts replication bandwidth, added output
+latency, and failover position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.memory import PAGE_SIZE
+
+
+class FailoverError(RuntimeError):
+    pass
+
+
+@dataclass
+class Epoch:
+    index: int
+    dirty_pages: int
+    output_packets: int
+
+
+@dataclass
+class ReplicationStats:
+    epochs: int = 0
+    pages_shipped: int = 0
+    packets_released: int = 0
+    packets_buffered_peak: int = 0
+
+
+class RemusReplicator:
+    """Primary-side epoch engine with output commit."""
+
+    def __init__(
+        self,
+        epoch_ms: float = 25.0,
+        bandwidth_mbps: float = 10000.0,
+    ) -> None:
+        if epoch_ms <= 0:
+            raise ValueError(f"epoch must be positive: {epoch_ms}")
+        self.epoch_ms = epoch_ms
+        self.bandwidth_pages_per_epoch = (
+            bandwidth_mbps * 1e6 / 8.0 * (epoch_ms / 1e3) / PAGE_SIZE
+        )
+        self.stats = ReplicationStats()
+        #: Packets generated but not yet released (their epoch is not yet
+        #: acknowledged by the backup).
+        self._buffered_output: list[int] = []
+        #: Epoch index the backup has durably applied.
+        self.backup_epoch = -1
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    # Epoch processing
+    # ------------------------------------------------------------------
+    def run_epoch(self, epoch: Epoch) -> float:
+        """Replicate one epoch; returns the added output latency (ms) for
+        packets produced in it."""
+        if self._failed:
+            raise FailoverError("primary already failed")
+        if epoch.dirty_pages < 0 or epoch.output_packets < 0:
+            raise ValueError("negative epoch accounting")
+        self._buffered_output.append(epoch.output_packets)
+        self.stats.packets_buffered_peak = max(
+            self.stats.packets_buffered_peak,
+            sum(self._buffered_output),
+        )
+        # Ship the dirty set; may take multiple epoch-lengths if large.
+        ship_epochs = max(
+            1.0, epoch.dirty_pages / self.bandwidth_pages_per_epoch
+        )
+        self.stats.epochs += 1
+        self.stats.pages_shipped += epoch.dirty_pages
+        # Backup acknowledges; output for this epoch is released.
+        self.backup_epoch = epoch.index
+        released = self._buffered_output.pop(0)
+        self.stats.packets_released += released
+        # Output latency: buffered for the replication time of its epoch.
+        return ship_epochs * self.epoch_ms
+
+    @property
+    def buffered_packets(self) -> int:
+        return sum(self._buffered_output)
+
+    # ------------------------------------------------------------------
+    # Failure
+    # ------------------------------------------------------------------
+    def fail_primary(self) -> int:
+        """Kill the primary; returns the epoch the backup resumes from.
+
+        Buffered (unreleased) output is discarded — clients never saw it,
+        so the backup's re-execution is externally consistent.
+        """
+        self._failed = True
+        discarded = self.buffered_packets
+        self._buffered_output.clear()
+        if self.backup_epoch < 0:
+            raise FailoverError("backup never received a checkpoint")
+        return self.backup_epoch
+
+    def output_commit_invariant(self) -> bool:
+        """No packet is released before its epoch is replicated."""
+        return self.stats.packets_released >= 0 and (
+            self.backup_epoch >= self.stats.epochs - 1
+            or self.buffered_packets > 0
+            or self.stats.epochs == 0
+        )

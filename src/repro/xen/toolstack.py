@@ -1,0 +1,76 @@
+"""The ``xl`` toolstack — domain creation and its cost (§4.5).
+
+    "the overhead of Xen's 'xl' toolstack brings the total instantiation
+     time up to 3 seconds.  LightVM has proposed a solution to reduce the
+     overhead of the toolstack to 4ms, which can be also applied to
+     X-Containers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.clock import SimClock
+from repro.perf.costs import CostModel
+from repro.xen.hypervisor import Domain, DomainKind, XenHypervisor
+
+
+@dataclass
+class DomainCreation:
+    domain: Domain
+    toolstack_ms: float
+    boot_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.toolstack_ms + self.boot_ms
+
+
+class Toolstack:
+    """Creates and destroys domains through the hypervisor."""
+
+    def __init__(
+        self,
+        xen: XenHypervisor,
+        lightvm_mode: bool = False,
+    ) -> None:
+        self.xen = xen
+        #: LightVM's streamlined toolstack (no xenstore transactions, no
+        #: device-model handshakes).
+        self.lightvm_mode = lightvm_mode
+        self.creations: list[DomainCreation] = []
+
+    @property
+    def costs(self) -> CostModel:
+        return self.xen.costs
+
+    @property
+    def clock(self) -> SimClock:
+        return self.xen.clock
+
+    def create(
+        self,
+        name: str,
+        vcpus: int = 1,
+        memory_mb: int = 512,
+        kind: DomainKind = DomainKind.DOMU,
+        full_vm_boot: bool = True,
+    ) -> DomainCreation:
+        """Create a domain; ``full_vm_boot=False`` is the X-LibOS +
+        bootloader path (180 ms instead of a full distro boot)."""
+        domain = self.xen.create_domain(name, kind, vcpus, memory_mb)
+        toolstack_ms = (
+            self.costs.lightvm_toolstack_ms
+            if self.lightvm_mode
+            else self.costs.xl_toolstack_ms
+        )
+        boot_ms = (
+            self.costs.vm_boot_ms if full_vm_boot else self.costs.xlibos_boot_ms
+        )
+        creation = DomainCreation(domain, toolstack_ms, boot_ms)
+        self.clock.advance(creation.total_ms * 1e6)
+        self.creations.append(creation)
+        return creation
+
+    def destroy(self, domid: int) -> None:
+        self.xen.destroy_domain(domid)

@@ -1,0 +1,101 @@
+"""CPU interpreter edge cases: page boundaries, stack faults, halting."""
+
+import pytest
+
+from repro.arch import Assembler, CPU, PagedMemory, Reg, Trap, TrapKind
+from repro.arch.memory import PAGE_SIZE, PageFlags
+
+
+class TestFetchAcrossPages:
+    def test_instruction_straddling_page_boundary(self):
+        """A 7-byte mov beginning 3 bytes before a page boundary must
+        fetch and execute correctly."""
+        mem = PagedMemory()
+        base = 0x400000
+        asm = Assembler(base=base)
+        asm.nop(PAGE_SIZE - 3)
+        asm.mov_imm64_low(Reg.RAX, 77)  # 7 bytes, straddles the boundary
+        asm.hlt()
+        binary = asm.build()
+        binary.load(mem)
+        mem.map_region(0x7F0000, 0x1000, PageFlags.USER | PageFlags.WRITABLE)
+        cpu = CPU(mem)
+        cpu.regs.rip = base + PAGE_SIZE - 3
+        cpu.regs.rsp = 0x7F0F00
+        cpu.run()
+        assert cpu.regs.rax == 77
+
+    def test_fetch_window_stops_at_unmapped_page(self):
+        """Code ending flush against unmapped memory must still decode
+        the final instruction."""
+        mem = PagedMemory()
+        base = 0x400000
+        mem.map_region(base, PAGE_SIZE, PageFlags.USER | PageFlags.EXECUTABLE)
+        mem.wp_enabled = False
+        mem.write(base + PAGE_SIZE - 1, b"\xf4")  # hlt as the last byte
+        mem.wp_enabled = True
+        cpu = CPU(mem)
+        cpu.regs.rip = base + PAGE_SIZE - 1
+        cpu.run()
+        assert cpu.halted
+
+
+class TestStackFaults:
+    def test_push_into_unmapped_stack_faults(self):
+        from repro.arch.memory import PageFault
+
+        mem = PagedMemory()
+        asm = Assembler()
+        asm.push(Reg.RAX)
+        asm.hlt()
+        asm.build().load(mem)
+        cpu = CPU(mem)
+        cpu.regs.rip = 0x400000
+        cpu.regs.rsp = 0xDEAD0000  # nowhere
+        with pytest.raises(PageFault):
+            cpu.step()
+
+    def test_ret_with_empty_stack_faults(self):
+        from repro.arch.memory import PageFault
+
+        mem = PagedMemory()
+        asm = Assembler()
+        asm.ret()
+        asm.build().load(mem)
+        cpu = CPU(mem)
+        cpu.regs.rip = 0x400000
+        cpu.regs.rsp = 0x12345678
+        with pytest.raises(PageFault):
+            cpu.step()
+
+
+class TestRegisterWidthSemantics:
+    def test_xor64_clears_high_bits(self):
+        mem = PagedMemory()
+        asm = Assembler()
+        asm.mov_imm64_low(Reg.RDX, -1)
+        asm.raw(b"\x48\x31\xd2")  # xor %rdx,%rdx
+        asm.hlt()
+        asm.build().load(mem)
+        mem.map_region(0x7F0000, 0x1000, PageFlags.USER | PageFlags.WRITABLE)
+        cpu = CPU(mem)
+        cpu.regs.rip = 0x400000
+        cpu.regs.rsp = 0x7F0F00
+        cpu.run()
+        assert cpu.regs.read64(Reg.RDX) == 0
+        assert cpu.regs.zf
+
+    def test_mov_r32_r32_zero_extends(self):
+        mem = PagedMemory()
+        asm = Assembler()
+        asm.mov_imm64_low(Reg.RCX, -1)       # rcx = all ones
+        asm.mov_imm32(Reg.RAX, 5)
+        asm.raw(b"\x89\xc1")                 # mov %eax,%ecx
+        asm.hlt()
+        asm.build().load(mem)
+        mem.map_region(0x7F0000, 0x1000, PageFlags.USER | PageFlags.WRITABLE)
+        cpu = CPU(mem)
+        cpu.regs.rip = 0x400000
+        cpu.regs.rsp = 0x7F0F00
+        cpu.run()
+        assert cpu.regs.read64(Reg.RCX) == 5  # high bits cleared

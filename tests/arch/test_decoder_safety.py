@@ -1,0 +1,50 @@
+"""Property: patched text always disassembles to the documented shape.
+
+After ABOM runs over ANY program built from the supported site styles,
+linearly decoding the text must yield only (a) valid subset instructions
+or (b) the two known tail bytes of a 7-byte patch (`0x60`, `0xff`) —
+never some third thing.  This is the static complement of the semantic
+equivalence tests.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Assembler, Reg
+from repro.arch.disasm import disassemble_memory
+from repro.core import CountingServices, XContainer
+
+STYLES = ["mov_eax", "mov_rax", "go_stack", "cancellable", "bare"]
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(STYLES), st.integers(0, 300)),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_patched_text_decodes_to_known_shapes(sequence):
+    asm = Assembler()
+    for style, nr in sequence:
+        if style == "go_stack":
+            asm.mov_imm64_low(Reg.RCX, nr)
+            asm.store_rsp64(8, Reg.RCX)
+        elif style == "bare":
+            asm.mov_imm32(Reg.RAX, nr)
+            asm.nop(1)
+        asm.syscall_site(nr, style=style)
+    asm.hlt()
+    binary = asm.build()
+    xc = XContainer(CountingServices())
+    xc.run(binary)
+    lines = disassemble_memory(xc.memory, binary.base, len(binary.code))
+    bad = [line for line in lines if line.text == "(bad)"]
+    # Every undecodable byte must be part of a patched call's tail.
+    for line in bad:
+        assert line.raw in (b"\x60", b"\xff"), line
+    # And every patched call must target the vsyscall page.
+    for line in lines:
+        if line.text.startswith("callq"):
+            assert "0xffffffffff600" in line.text

@@ -1,0 +1,78 @@
+from repro.arch import Assembler, Reg, disassemble, format_listing
+from repro.arch.disasm import disassemble_memory
+from repro.arch.encoding import enc_call_abs_ind
+from repro.core import CountingServices, XContainer
+
+
+class TestDisassembler:
+    def test_figure2_case1_rendering(self):
+        # b8 00 00 00 00 ; 0f 05
+        code = b"\xb8\x00\x00\x00\x00\x0f\x05"
+        lines = disassemble(code, base=0xEB6A9)
+        assert len(lines) == 2
+        assert "mov    $0x0,%eax" in lines[0].text
+        assert lines[1].text == "syscall"
+
+    def test_patched_call_rendering(self):
+        lines = disassemble(enc_call_abs_ind(0xFFFFFFFFFF600008))
+        assert lines[0].text == "callq  *0xffffffffff600008"
+
+    def test_jump_targets_absolute(self):
+        asm = Assembler(base=0x1000)
+        asm.label("top")
+        asm.nop()
+        asm.jmp8("top")
+        lines = disassemble(asm.build().code, base=0x1000)
+        assert "jmp    0x1000" in lines[1].text
+
+    def test_bad_bytes_flagged(self):
+        # The tail of a patched call, disassembled from the middle.
+        lines = disassemble(b"\x60\xff")
+        assert lines[0].text == "(bad)"
+
+    def test_all_subset_instructions_render(self):
+        asm = Assembler()
+        asm.mov_imm32(Reg.RAX, 1)
+        asm.mov_imm64_low(Reg.RDI, 2)
+        asm.mov_reg(Reg.RSI, Reg.RDI)
+        asm.load_rsp64(Reg.RAX, 8)
+        asm.store_rsp64(8, Reg.RAX)
+        asm.load_rsp32(Reg.RAX, 8)
+        asm.store_rsp32(8, Reg.RAX)
+        asm.push(Reg.RBP)
+        asm.pop(Reg.RBP)
+        asm.add(Reg.RAX, 1)
+        asm.sub(Reg.RAX, 1)
+        asm.cmp(Reg.RAX, 0)
+        asm.inc(Reg.RCX)
+        asm.dec(Reg.RCX)
+        asm.xor(Reg.RDX, Reg.RDX)
+        asm.nop()
+        asm.ret()
+        asm.hlt()
+        asm.raw(b"\xcc")
+        lines = disassemble(asm.build().code)
+        assert all(line.text != "(bad)" for line in lines)
+        listing = format_listing(lines)
+        assert "push   %rbp" in listing
+        assert "retq" in listing
+
+    def test_disassemble_patched_site_from_memory(self):
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 2)
+        asm.label("loop")
+        site = asm.syscall_site(0, style="mov_eax")
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        asm.hlt()
+        binary = asm.build()
+        xc = XContainer(CountingServices())
+        xc.run(binary)
+        lines = disassemble_memory(xc.memory, site.syscall_addr - 5, 7)
+        assert lines[0].text == "callq  *0xffffffffff600008"
+
+    def test_line_format(self):
+        lines = disassemble(b"\x90", base=0x400000)
+        text = str(lines[0])
+        assert text.startswith("  400000:")
+        assert "nop" in text

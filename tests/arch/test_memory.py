@@ -1,0 +1,127 @@
+import pytest
+
+from repro.arch.memory import PagedMemory, PageFault, PageFlags
+
+RW = PageFlags.USER | PageFlags.WRITABLE
+RO = PageFlags.USER
+
+
+class TestMapping:
+    def test_unmapped_read_faults(self):
+        with pytest.raises(PageFault):
+            PagedMemory().read(0x1000, 1)
+
+    def test_map_then_read_zeroed(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        assert mem.read(0x1000, 8) == b"\x00" * 8
+
+    def test_map_spans_pages(self):
+        mem = PagedMemory()
+        mem.map_region(0x1FF0, 0x20, RW)  # crosses a page boundary
+        mem.write(0x1FF0, b"A" * 0x20)
+        assert mem.read(0x1FF0, 0x20) == b"A" * 0x20
+
+    def test_map_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PagedMemory().map_region(0, 0, RW)
+
+    def test_is_mapped(self):
+        mem = PagedMemory()
+        mem.map_region(0x2000, 1, RW)
+        assert mem.is_mapped(0x2000)
+        assert mem.is_mapped(0x2FFF)
+        assert not mem.is_mapped(0x3000)
+
+
+class TestPermissions:
+    def test_readonly_write_faults(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RO)
+        with pytest.raises(PageFault):
+            mem.write(0x1000, b"x")
+
+    def test_wp_disable_allows_supervisor_write(self):
+        """CR0.WP cleared: ABOM's patching mode (§4.4)."""
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RO)
+        mem.wp_enabled = False
+        mem.write(0x1000, b"x")
+        assert mem.read(0x1000, 1) == b"x"
+
+    def test_wp_bypass_sets_dirty_bit(self):
+        """§4.4: "the page table dirty bit will be set for read-only pages"."""
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RO)
+        mem.wp_enabled = False
+        mem.write(0x1000, b"x")
+        assert mem.page_flags(0x1000) & PageFlags.DIRTY
+        assert mem.dirty_pages() == [0x1000]
+
+    def test_normal_write_does_not_set_dirty_tracking(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        mem.write(0x1000, b"x")
+        assert not mem.page_flags(0x1000) & PageFlags.DIRTY
+
+    def test_page_flags_unmapped_faults(self):
+        with pytest.raises(PageFault):
+            PagedMemory().page_flags(0x0)
+
+
+class TestScalarAccess:
+    def test_u64_roundtrip(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        mem.write_u64(0x1008, 0xFFFFFFFFFF600008)
+        assert mem.read_u64(0x1008) == 0xFFFFFFFFFF600008
+
+    def test_u32_roundtrip_truncates(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        mem.write_u32(0x1000, 0x1_2345_6789)
+        assert mem.read_u32(0x1000) == 0x2345_6789
+
+    def test_kernel_half_addresses(self):
+        mem = PagedMemory()
+        base = 0xFFFFFFFFFF600000
+        mem.map_region(base, 4096, RW)
+        mem.write_u64(base + 8, 123)
+        assert mem.read_u64(base + 8) == 123
+
+
+class TestCompareExchange:
+    def _mem(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        mem.write(0x1000, bytes(range(16)))
+        return mem
+
+    def test_success(self):
+        mem = self._mem()
+        ok = mem.compare_exchange(0x1000, bytes(range(7)), b"A" * 7)
+        assert ok
+        assert mem.read(0x1000, 7) == b"A" * 7
+
+    def test_failure_leaves_memory_unchanged(self):
+        mem = self._mem()
+        ok = mem.compare_exchange(0x1000, b"wrong!!", b"A" * 7)
+        assert not ok
+        assert mem.read(0x1000, 7) == bytes(range(7))
+
+    def test_more_than_8_bytes_rejected(self):
+        """The paper's constraint: cmpxchg handles at most eight bytes."""
+        mem = self._mem()
+        with pytest.raises(ValueError):
+            mem.compare_exchange(0x1000, bytes(9), bytes(9))
+
+    def test_size_mismatch_rejected(self):
+        mem = self._mem()
+        with pytest.raises(ValueError):
+            mem.compare_exchange(0x1000, bytes(4), bytes(5))
+
+    def test_respects_write_protect(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RO)
+        with pytest.raises(PageFault):
+            mem.compare_exchange(0x1000, bytes(2), b"ab")

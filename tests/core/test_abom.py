@@ -1,0 +1,391 @@
+"""ABOM behaviour tests — the paper's §4.4 mechanism, byte for byte."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Assembler, Reg
+from repro.arch.encoding import decode
+from repro.arch.memory import PageFlags
+from repro.core import CountingServices, XContainer
+from repro.core.abom import ABOM
+from repro.perf.clock import SimClock
+
+
+def container(results=None, abom_enabled=True):
+    return XContainer(
+        CountingServices(results=results or {}), abom_enabled=abom_enabled
+    )
+
+
+def loop_program(style, nr, iterations, setup=None):
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, iterations)
+    asm.label("loop")
+    if setup:
+        setup(asm)
+    site = asm.syscall_site(nr, style=style)
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build(), site
+
+
+class TestCase1MovEax:
+    def test_patched_bytes_match_figure2(self):
+        """__read: ``b8 00 00 00 00; 0f 05`` becomes
+        ``ff 14 25 08 00 60 ff``."""
+        xc = container()
+        binary, site = loop_program("mov_eax", 0, 2)
+        xc.run(binary)
+        patched = xc.memory.read(site.syscall_addr - 5, 7)
+        assert patched == bytes([0xFF, 0x14, 0x25, 0x08, 0x00, 0x60, 0xFF])
+
+    def test_first_call_forwarded_rest_lightweight(self):
+        xc = container()
+        binary, _ = loop_program("mov_eax", 39, 10)
+        xc.run(binary)
+        assert xc.libos_stats.forwarded_syscalls == 1
+        assert xc.libos_stats.lightweight_syscalls == 9
+        assert xc.abom_stats.patches_7byte == 1
+
+    def test_patch_happens_once_per_site(self):
+        xc = container()
+        binary, _ = loop_program("mov_eax", 39, 50)
+        xc.run(binary)
+        assert xc.abom_stats.total_patches == 1
+        assert len(xc.abom_stats.patched_sites) == 1
+
+    def test_results_flow_back(self):
+        xc = container(results={39: 1234})
+        binary, _ = loop_program("mov_eax", 39, 3)
+        result = xc.run(binary)
+        assert result.exit_rax == 1234
+
+    def test_dirty_bit_set_on_text_page(self):
+        """§4.4: patching a read-only page sets its dirty bit."""
+        xc = container()
+        binary, site = loop_program("mov_eax", 39, 2)
+        xc.run(binary)
+        page_addr = site.syscall_addr & ~0xFFF
+        assert xc.memory.page_flags(page_addr) & PageFlags.DIRTY
+
+    def test_wp_restored_after_patch(self):
+        xc = container()
+        binary, _ = loop_program("mov_eax", 39, 2)
+        xc.run(binary)
+        assert xc.memory.wp_enabled
+        assert not xc.xkernel.abom.irqs_disabled
+
+
+class TestCase2Go:
+    def _go_program(self, nr, iterations):
+        def setup(asm):
+            asm.mov_imm64_low(Reg.RCX, nr)
+            asm.store_rsp64(8, Reg.RCX)
+
+        return loop_program("go_stack", nr, iterations, setup=setup)
+
+    def test_patched_bytes_use_dynamic_slot(self):
+        xc = container()
+        binary, site = self._go_program(1, 2)
+        xc.run(binary)
+        patched = xc.memory.read(site.syscall_addr - 5, 7)
+        # call *0xffffffffff600c08 (Fig 2, Case 2)
+        assert patched == bytes([0xFF, 0x14, 0x25, 0x08, 0x0C, 0x60, 0xFF])
+
+    def test_number_resolved_from_stack_each_call(self):
+        xc = container()
+        binary, _ = self._go_program(7, 6)
+        xc.run(binary)
+        services = xc.libos.services
+        assert services.calls == [7] * 6
+        assert xc.abom_stats.patches_go == 1
+        assert xc.libos_stats.lightweight_syscalls == 5
+
+
+class TestNineBytePatch:
+    def test_phase1_and_phase2_bytes(self):
+        """__restore_rt: mov becomes the call, syscall becomes jmp -9."""
+        xc = container()
+        binary, site = loop_program("mov_rax", 15, 2)
+        xc.run(binary)
+        call = xc.memory.read(site.syscall_addr - 7, 7)
+        assert call == bytes([0xFF, 0x14, 0x25, 0x80, 0x00, 0x60, 0xFF])
+        tail = xc.memory.read(site.syscall_addr, 2)
+        assert tail == bytes([0xEB, 0xF7])  # jmp -9, Fig 2 phase 2
+
+    def test_return_address_skip_counted(self):
+        xc = container()
+        binary, _ = loop_program("mov_rax", 15, 5)
+        xc.run(binary)
+        # every lightweight call returns onto the dead jmp and skips it
+        assert xc.libos_stats.return_address_skips == 4
+        assert xc.libos_stats.lightweight_syscalls == 4
+
+    def test_phase1_only_state_still_correct(self):
+        """The intermediate state (call + original syscall) must execute
+        correctly — the concurrency-safety argument of §4.4."""
+        xc = container(results={15: 7})
+        binary, site = loop_program("mov_rax", 15, 5)
+        xc.load(binary)
+        # Patch phase 1 by hand, then sabotage phase 2 by restoring the
+        # original syscall bytes (as if another vCPU raced us).
+        xc.xkernel.abom.try_patch(site.syscall_addr)
+        xc.memory.wp_enabled = False
+        xc.memory.write(site.syscall_addr, b"\x0f\x05")
+        xc.memory.wp_enabled = True
+        result = xc.run_loaded(binary.entry)
+        assert result.exit_rax == 7
+        # All five iterations must dispatch exactly once each.
+        assert xc.libos.services.count(15) == 5
+
+    def test_direct_jump_to_old_syscall_address(self):
+        """Code jumping straight at the (now ``jmp -9``) old syscall
+        address still issues the syscall exactly once."""
+        xc = container(results={15: 3})
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 2)
+        asm.label("loop")
+        asm.mov_imm64_low(Reg.RAX, 15)  # the 9-byte site, hand-laid so we
+        asm.label("old_syscall")        # can label the syscall address
+        asm.raw(b"\x0f\x05")
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        # RSI guards the epilogue so the post-jump fallthrough exits.
+        asm.cmp(Reg.RSI, 1)
+        asm.je("done")
+        asm.mov_imm32(Reg.RSI, 1)
+        asm.mov_imm32(Reg.RBX, 1)
+        # Direct jump at the old syscall address: after phase 2 this lands
+        # on ``jmp -9``, which re-enters the patched call.
+        asm.mov_imm64_low(Reg.RAX, 15)
+        asm.jmp("old_syscall")
+        asm.label("done")
+        asm.hlt()
+        binary = asm.build()
+        xc.run(binary)
+        # 2 loop iterations + 1 via the direct jump = 3 dispatches; the
+        # return-address skip then resumes after the dead instruction.
+        assert xc.libos.services.count(15) == 3
+        assert xc.abom_stats.patches_9byte == 1
+
+
+class TestUdFixup:
+    def test_jump_into_patched_tail_is_fixed_up(self):
+        """§4.4: a jump to the original syscall of a 7-byte patch lands on
+        ``60 ff`` bytes, #UDs, and the X-Kernel rewinds RIP."""
+        xc = container(results={39: 11})
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 2)
+        asm.label("loop")
+        asm.mov_imm32(Reg.RAX, 39)
+        asm.label("syscall_here")
+        asm.raw(b"\x0f\x05")
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        # RSI guards the epilogue so the post-jump fallthrough exits.
+        asm.cmp(Reg.RSI, 1)
+        asm.je("done")
+        asm.mov_imm32(Reg.RSI, 1)
+        asm.mov_imm32(Reg.RBX, 1)
+        # Direct jump into what is now the middle of the call instruction.
+        asm.jmp("syscall_here")
+        asm.label("done")
+        asm.hlt()
+        binary = asm.build()
+        xc.run(binary)
+        assert xc.abom_stats.ud_fixups == 1
+        # Loop twice + once via the fixed-up jump (which re-executes the
+        # whole call) = exactly 3 dispatches.
+        assert xc.libos.services.count(39) == 3
+
+    def test_unrelated_ud_still_raises(self):
+        from repro.arch.cpu import Trap, TrapKind
+
+        xc = container()
+        asm = Assembler()
+        asm.raw(b"\x60\xff")  # not preceded by a patched call
+        binary = asm.build()
+        xc.load(binary)
+        xc.cpu.regs.rip = binary.entry
+        with pytest.raises(Trap) as excinfo:
+            xc.cpu.run()
+        assert excinfo.value.kind is TrapKind.INVALID_OPCODE
+
+
+class TestUnrecognizedPatterns:
+    def test_cancellable_never_patched(self):
+        """The libpthread shape (MySQL, Table 1) defeats ABOM."""
+        xc = container()
+        binary, _ = loop_program("cancellable", 0, 10)
+        xc.run(binary)
+        assert xc.abom_stats.total_patches == 0
+        assert xc.libos_stats.forwarded_syscalls == 10
+        assert xc.libos_stats.lightweight_syscalls == 0
+        assert xc.abom_stats.unrecognized_sites > 0
+
+    def test_bare_syscall_never_patched(self):
+        xc = container()
+
+        def setup(asm):
+            asm.mov_imm32(Reg.RAX, 39)
+            asm.nop(3)
+
+        binary, _ = loop_program("bare", 39, 5, setup=setup)
+        xc.run(binary)
+        assert xc.abom_stats.total_patches == 0
+        assert xc.libos_stats.forwarded_syscalls == 5
+
+    def test_syscall_number_out_of_table_not_patched(self):
+        xc = container()
+        binary, _ = loop_program("mov_eax", 999, 3)
+        xc.run(binary)
+        assert xc.abom_stats.total_patches == 0
+        assert xc.libos.services.calls == [999] * 3
+
+    def test_disabled_abom_forwards_everything(self):
+        xc = container(abom_enabled=False)
+        binary, _ = loop_program("mov_eax", 39, 10)
+        xc.run(binary)
+        assert xc.abom_stats.total_patches == 0
+        assert xc.libos_stats.forwarded_syscalls == 10
+
+    def test_site_at_start_of_mapping_not_crashing(self):
+        """A syscall too close to the start of its page: ABOM must not
+        fault probing unmapped bytes before it."""
+        xc = container()
+        asm = Assembler(base=0x400000)
+        asm.raw(b"\x0f\x05")  # bare syscall at the very first byte
+        asm.hlt()
+        binary = asm.build()
+        xc.cpu.regs.write64(Reg.RAX, 39)
+        xc.run(binary)
+        assert xc.abom_stats.total_patches == 0
+
+
+class TestPatchCost:
+    def test_patch_charges_clock_once(self):
+        clock = SimClock()
+        xc = XContainer(CountingServices(), clock=clock)
+        binary, _ = loop_program("mov_eax", 39, 5)
+        xc.run(binary)
+        # The cost model says one abom_patch_ns charge total.
+        assert xc.abom_stats.total_patches == 1
+
+
+class TestSemanticEquivalence:
+    """Property: ABOM on/off must never change what the program does."""
+
+    STYLES = ["mov_eax", "mov_rax", "cancellable", "bare", "go_stack"]
+
+    @staticmethod
+    def _build(sequence):
+        asm = Assembler()
+        for index, (style, nr) in enumerate(sequence):
+            if style == "go_stack":
+                asm.mov_imm64_low(Reg.RCX, nr)
+                asm.store_rsp64(8, Reg.RCX)
+            elif style == "bare":
+                asm.mov_imm32(Reg.RAX, nr)
+                asm.nop(1)
+            asm.syscall_site(nr, style=style, symbol=f"s{index}")
+        asm.hlt()
+        return asm.build()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(STYLES),
+                st.integers(0, 200),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_same_dispatch_sequence_with_and_without_abom(self, sequence):
+        binary = self._build(sequence)
+        runs = {}
+        for enabled in (False, True):
+            xc = container(abom_enabled=enabled)
+            xc.run(binary)
+            runs[enabled] = list(xc.libos.services.calls)
+        assert runs[True] == runs[False]
+        expected = [nr for _, nr in sequence]
+        assert runs[True] == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(STYLES), st.integers(0, 200)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_loop_executions_identical(self, sequence, iterations):
+        """Run the whole sequence in a loop: patched re-executions must
+        behave exactly like the first (trapping) execution."""
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, iterations)
+        asm.label("loop")
+        for index, (style, nr) in enumerate(sequence):
+            if style == "go_stack":
+                asm.mov_imm64_low(Reg.RCX, nr)
+                asm.store_rsp64(8, Reg.RCX)
+            elif style == "bare":
+                asm.mov_imm32(Reg.RAX, nr)
+                asm.nop(1)
+            asm.syscall_site(nr, style=style)
+        asm.dec(Reg.RBX)
+        # The loop body can exceed rel8 range with many sites: branch
+        # forward (rel8) and jump back with rel32.
+        asm.je("done")
+        asm.jmp("loop")
+        asm.label("done")
+        asm.hlt()
+        binary = asm.build()
+
+        xc_on = container(abom_enabled=True)
+        xc_on.run(binary)
+        xc_off = container(abom_enabled=False)
+        xc_off.run(binary)
+        assert xc_on.libos.services.calls == xc_off.libos.services.calls
+        expected = [nr for _, nr in sequence] * iterations
+        assert xc_on.libos.services.calls == expected
+
+
+class TestAbomDirect:
+    """Unit-level checks on the patcher against hand-built memory."""
+
+    def _abom(self):
+        from repro.arch.memory import PagedMemory
+
+        mem = PagedMemory()
+        mem.map_region(0x400000, 4096, PageFlags.USER | PageFlags.EXECUTABLE)
+        return ABOM(mem), mem
+
+    def test_try_patch_unmapped_returns_false(self):
+        abom, _ = self._abom()
+        assert not abom.try_patch(0x999000)
+
+    def test_patched_site_cached(self):
+        abom, mem = self._abom()
+        mem.wp_enabled = False
+        mem.write(0x400000, b"\xb8\x27\x00\x00\x00\x0f\x05")
+        mem.wp_enabled = True
+        assert abom.try_patch(0x400005)
+        before = abom.stats.total_patches
+        assert abom.try_patch(0x400005)  # cached, no new patch
+        assert abom.stats.total_patches == before
+
+    def test_patched_code_decodes_cleanly(self):
+        abom, mem = self._abom()
+        mem.wp_enabled = False
+        mem.write(0x400000, b"\xb8\x27\x00\x00\x00\x0f\x05\xf4")
+        mem.wp_enabled = True
+        abom.try_patch(0x400005)
+        instr = decode(mem.read(0x400000, 7))
+        assert instr.mnemonic == "call_abs_ind"
+        assert instr.length == 7

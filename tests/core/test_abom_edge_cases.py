@@ -1,0 +1,122 @@
+"""ABOM edge cases: page boundaries, odd placements, pathological code."""
+
+import pytest
+
+from repro.arch import Assembler, Reg
+from repro.arch.memory import PAGE_SIZE
+from repro.core import CountingServices, XContainer
+
+
+def site_at_offset(offset_in_page: int, style: str, nr: int = 39,
+                   iterations: int = 4):
+    """Build a binary whose syscall site starts at a chosen page offset,
+    so patches can straddle the 4 KiB boundary."""
+    base = 0x400000
+    asm = Assembler(base=base)
+    asm.mov_imm32(Reg.RBX, iterations)
+    asm.jmp("site")  # jump over the padding
+    pad = offset_in_page - (len(asm._code) % PAGE_SIZE)
+    if pad < 0:
+        pad += PAGE_SIZE
+    asm.nop(pad)
+    asm.label("site")
+    asm.label("loop")
+    site = asm.syscall_site(nr, style=style)
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build(), site
+
+
+class TestPageStraddlingPatches:
+    @pytest.mark.parametrize("style,length", [
+        ("mov_eax", 7),
+        ("mov_rax", 9),
+        ("go_stack", 7),
+    ])
+    def test_patch_across_page_boundary(self, style, length):
+        """A site whose bytes straddle two pages must patch and execute
+        correctly (the cmpxchg window spans the boundary)."""
+        # Place the site so the boundary falls inside the replaced bytes.
+        for split in range(1, length):
+            offset = PAGE_SIZE - split
+            binary, _ = site_at_offset(offset, style)
+            xc = XContainer(CountingServices())
+            if style == "go_stack":
+                # go_stack needs the number staged; use a bare prelude in
+                # the loop instead: rebuild with the stage.
+                base = 0x400000
+                asm = Assembler(base=base)
+                asm.mov_imm32(Reg.RBX, 4)
+                asm.mov_imm64_low(Reg.RCX, 39)
+                asm.store_rsp64(8, Reg.RCX)
+                asm.jmp("site")
+                pad = offset - (len(asm._code) % PAGE_SIZE)
+                if pad < 0:
+                    pad += PAGE_SIZE
+                asm.nop(pad)
+                asm.label("site")
+                asm.label("loop")
+                asm.syscall_site(39, style=style)
+                asm.dec(Reg.RBX)
+                asm.jne("loop")
+                asm.hlt()
+                binary = asm.build()
+            xc.run(binary)
+            assert xc.libos.services.count(39) == 4, (style, split)
+            assert xc.abom_stats.total_patches == 1, (style, split)
+
+    def test_dirty_bits_cover_both_pages(self):
+        binary, site = site_at_offset(PAGE_SIZE - 3, "mov_eax")
+        xc = XContainer(CountingServices())
+        xc.run(binary)
+        dirty = xc.memory.dirty_pages()
+        assert len([a for a in dirty if a < 0x500000]) == 2
+
+
+class TestPathologicalPlacements:
+    def test_back_to_back_sites(self):
+        """Adjacent sites: patching one must not corrupt its neighbour."""
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 3)
+        asm.label("loop")
+        for nr in (10, 11, 12, 13):
+            asm.syscall_site(nr, style="mov_eax")
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        asm.hlt()
+        xc = XContainer(CountingServices())
+        xc.run(asm.build())
+        assert xc.libos.services.calls == [10, 11, 12, 13] * 3
+        assert xc.abom_stats.patches_7byte == 4
+
+    def test_mixed_patterns_back_to_back(self):
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 3)
+        asm.label("loop")
+        asm.syscall_site(1, style="mov_eax")
+        asm.syscall_site(2, style="mov_rax")
+        asm.syscall_site(3, style="mov_eax")
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        asm.hlt()
+        xc = XContainer(CountingServices())
+        xc.run(asm.build())
+        assert xc.libos.services.calls == [1, 2, 3] * 3
+
+    def test_imm_bytes_that_mimic_a_mov_prefix(self):
+        """A 9-byte site whose imm32 ends in 0xb8 must not be mistaken
+        for a 5-byte mov_eax site (the 9-byte check runs first)."""
+        nr = 0xB8  # 184 < NUM_SYSCALLS; imm32 = b8 00 00 00
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 4)
+        asm.label("loop")
+        asm.syscall_site(nr, style="mov_rax")
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        asm.hlt()
+        xc = XContainer(CountingServices())
+        xc.run(asm.build())
+        assert xc.abom_stats.patches_9byte == 1
+        assert xc.abom_stats.patches_7byte == 0
+        assert xc.libos.services.calls == [nr] * 4

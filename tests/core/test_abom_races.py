@@ -1,0 +1,117 @@
+"""Failure injection: ABOM's concurrency-safety story (§4.4).
+
+    "Since each cmpxchg instruction can handle at most eight bytes, if we
+     need to modify more than eight bytes, we need to make sure that any
+     intermediate state of the binary is still valid for the sake of
+     multicore concurrency safety."
+
+These tests race two patchers, interleave execution with half-applied
+patches, and inject cmpxchg failures, asserting that no interleaving ever
+changes program semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Assembler, Reg
+from repro.core import CountingServices, XContainer
+from repro.core.abom import ABOM
+
+
+def nine_byte_program(nr, iterations):
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, iterations)
+    asm.label("loop")
+    site = asm.syscall_site(nr, style="mov_rax")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build(), site
+
+
+class TestRacingPatchers:
+    def test_two_abom_instances_race_on_one_site(self):
+        """Two vCPUs trap on the same site concurrently: the second
+        patcher's cmpxchg must fail harmlessly."""
+        xc = XContainer(CountingServices())
+        binary, site = nine_byte_program(15, 5)
+        xc.load(binary)
+        first = xc.xkernel.abom
+        second = ABOM(xc.memory, first.costs)
+        assert first.try_patch(site.syscall_addr)
+        # The racing vCPU sees already-patched bytes: no pattern match.
+        assert not second.try_patch(site.syscall_addr)
+        assert second.stats.total_patches == 0
+        # Execution is still correct.
+        xc.run_loaded(binary.entry)
+        assert xc.libos.services.count(15) == 5
+
+    def test_cmpxchg_failure_mid_9byte_is_safe(self):
+        """Phase 2 loses its race (bytes changed underneath): phase-1
+        state must still execute correctly, forever."""
+        xc = XContainer(CountingServices(results={15: 3}))
+        binary, site = nine_byte_program(15, 6)
+        xc.load(binary)
+        abom = xc.xkernel.abom
+
+        original_cmpxchg = xc.memory.compare_exchange
+        calls = {"n": 0}
+
+        def failing_second(addr, expected, new):
+            calls["n"] += 1
+            if calls["n"] == 2:  # phase 2 of the 9-byte patch
+                return False
+            return original_cmpxchg(addr, expected, new)
+
+        xc.memory.compare_exchange = failing_second
+        assert abom.try_patch(site.syscall_addr)
+        xc.memory.compare_exchange = original_cmpxchg
+        assert abom.stats.patch_failures == 1
+        # The site stays in phase-1 state: call + live syscall; the
+        # return-address skip keeps semantics intact.
+        assert xc.memory.read(site.syscall_addr, 2) == b"\x0f\x05"
+        result = xc.run_loaded(binary.entry)
+        assert result.exit_rax == 3
+        assert xc.libos.services.count(15) == 6
+
+    def test_all_cmpxchg_failures_leave_site_untouched(self):
+        xc = XContainer(CountingServices())
+        binary, site = nine_byte_program(15, 4)
+        xc.load(binary)
+        xc.memory.compare_exchange = lambda *a: False
+        assert not xc.xkernel.abom.try_patch(site.syscall_addr)
+        del xc.memory.compare_exchange  # restore the real method
+        # Nothing changed: all calls go the forwarded path... until the
+        # next trap patches normally.
+        xc.run_loaded(binary.entry)
+        assert xc.libos.services.count(15) == 4
+
+
+class TestInterleavedExecution:
+    @given(st.integers(0, 3), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_patch_at_arbitrary_loop_iteration(self, patch_after, loops):
+        """Patch the site externally after N iterations of another
+        container's run: the remaining iterations must behave
+        identically."""
+        binary, site = nine_byte_program(20, loops)
+        reference = XContainer(CountingServices(), abom_enabled=False)
+        reference.run(binary)
+
+        xc = XContainer(CountingServices(), abom_enabled=False)
+        xc.load(binary)
+        xc.cpu.regs.rip = binary.entry
+        iterations_done = 0
+        # Step until `patch_after` syscalls have happened, then patch by
+        # hand (as if another vCPU's trap triggered ABOM).
+        while (
+            not xc.cpu.halted
+            and len(xc.libos.services.calls) < min(patch_after, loops)
+        ):
+            xc.cpu.step()
+        patcher = ABOM(xc.memory)
+        patcher.try_patch(site.syscall_addr)
+        while not xc.cpu.halted:
+            xc.cpu.step()
+        assert xc.libos.services.calls == reference.libos.services.calls

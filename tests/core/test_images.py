@@ -1,0 +1,73 @@
+import pytest
+
+from repro.core.images import (
+    ImageManifest,
+    ImageRegistry,
+    Layer,
+    demo_images,
+)
+
+
+class TestLayers:
+    def test_layer_size(self):
+        layer = Layer.from_dict("sha256:x", {"/a": b"12345"})
+        assert layer.size_bytes == 5
+
+    def test_flatten_respects_layer_order(self):
+        base = Layer.from_dict("sha256:base", {"/conf": b"default",
+                                               "/bin": b"v1"})
+        override = Layer.from_dict("sha256:custom", {"/conf": b"tuned"})
+        manifest = ImageManifest("app", "1", [base, override])
+        view = manifest.flatten()
+        assert view["/conf"] == b"tuned"
+        assert view["/bin"] == b"v1"
+
+
+class TestRegistry:
+    def test_push_pull(self):
+        registry = demo_images()
+        nginx = registry.pull("nginx:1.13")
+        assert nginx.entrypoint == "/usr/sbin/nginx"
+
+    def test_missing_image(self):
+        with pytest.raises(KeyError):
+            demo_images().pull("postgres:9")
+
+    def test_digest_collision_rejected(self):
+        registry = ImageRegistry()
+        a = ImageManifest("a", "1", [Layer.from_dict("sha256:d",
+                                                     {"/x": b"1"})])
+        b = ImageManifest("b", "1", [Layer.from_dict("sha256:d",
+                                                     {"/x": b"2"})])
+        registry.push(a)
+        with pytest.raises(ValueError):
+            registry.push(b)
+
+    def test_base_layers_shared_between_images(self):
+        registry = demo_images()
+        shared = registry.shared_layers("nginx:1.13", "redis:3.2.11")
+        assert "sha256:base-ubuntu16" in shared
+
+
+class TestMaterialization:
+    def test_rootfs_contains_flattened_view(self):
+        registry = demo_images()
+        rootfs, snapshot = registry.materialize("nginx:1.13")
+        handle = rootfs.open("/etc/nginx/nginx.conf")
+        assert rootfs.read(handle, 100) == b"worker_processes 1;"
+        assert rootfs.exists("/etc/os-release")
+
+    def test_each_container_gets_private_cow_snapshot(self):
+        registry = demo_images()
+        _, snap_a = registry.materialize("nginx:1.13")
+        _, snap_b = registry.materialize("nginx:1.13")
+        snap_a.write_sector(0, b"A" * 512)
+        assert snap_b.read_sector(0) == b"\x00" * 512
+        assert snap_a.base is registry.base_device
+
+    def test_rootfs_instances_independent(self):
+        registry = demo_images()
+        fs_a, _ = registry.materialize("redis:3.2.11")
+        fs_b, _ = registry.materialize("redis:3.2.11")
+        fs_a.unlink("/usr/bin/redis-server")
+        assert fs_b.exists("/usr/bin/redis-server")

@@ -1,0 +1,63 @@
+from repro.arch import Assembler, Reg
+from repro.arch.binary import SitePattern
+from repro.core import CountingServices, XContainer
+from repro.core.offline import OfflinePatcher
+
+
+def cancellable_program(nr, iterations):
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, iterations)
+    asm.label("loop")
+    site = asm.syscall_site(nr, style="cancellable", symbol="pthread_read")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build(), site
+
+
+class TestOfflinePatcher:
+    def test_patches_cancellable_site(self):
+        """The MySQL path of Table 1: offline tool recovers what ABOM
+        cannot (§5.2)."""
+        xc = XContainer(CountingServices(results={0: 6}))
+        binary, site = cancellable_program(0, 8)
+        xc.load(binary)
+        report = OfflinePatcher(xc.memory).patch_sites(binary, [site])
+        assert report.patched == ["pthread_read"]
+        result = xc.run_loaded(binary.entry)
+        assert result.exit_rax == 6
+        # All 8 iterations must now take the lightweight path.
+        assert xc.libos_stats.lightweight_syscalls == 8
+        assert xc.libos_stats.forwarded_syscalls == 0
+        assert xc.libos.services.count(0) == 8
+
+    def test_semantics_preserved_vs_unpatched(self):
+        binary, site = cancellable_program(2, 5)
+        xc_plain = XContainer(CountingServices())
+        xc_plain.run(binary)
+        xc_patched = XContainer(CountingServices())
+        xc_patched.load(binary)
+        OfflinePatcher(xc_patched.memory).patch_sites(binary, [site])
+        xc_patched.run_loaded(binary.entry)
+        assert (
+            xc_patched.libos.services.calls == xc_plain.libos.services.calls
+        )
+
+    def test_skips_non_cancellable_sites(self):
+        asm = Assembler()
+        site = asm.syscall_site(39, style="mov_eax", symbol="getpid")
+        asm.hlt()
+        binary = asm.build()
+        xc = XContainer(CountingServices())
+        xc.load(binary)
+        report = OfflinePatcher(xc.memory).patch_sites(binary, [site])
+        assert report.patched == []
+        assert report.skipped == ["getpid"]
+
+    def test_skips_sites_without_static_number(self):
+        from repro.arch.binary import SyscallSite
+
+        xc = XContainer(CountingServices())
+        site = SyscallSite(0x400000, SitePattern.CANCELLABLE, nr=None)
+        report = OfflinePatcher(xc.memory).patch_sites(None, [site])
+        assert report.skipped

@@ -1,0 +1,107 @@
+"""Trampoline-injection mode of the offline patcher (§4.4: 'inject code
+into the binary and re-direct a bigger chunk of code')."""
+
+from repro.arch import Assembler, Reg
+from repro.arch.binary import SitePattern, SyscallSite
+from repro.core import CountingServices, XContainer
+from repro.core.offline import OfflinePatcher
+
+
+def side_effect_cancellable(nr, iterations):
+    """A cancellable wrapper whose check has an observable side effect:
+    it increments RCX.  In-place patching would delete it; the trampoline
+    must preserve it."""
+    asm = Assembler()
+    asm.xor(Reg.RCX, Reg.RCX)
+    asm.mov_imm32(Reg.RBX, iterations)
+    asm.label("loop")
+    asm.mov_imm32(Reg.RAX, nr)
+    asm.inc(Reg.RCX)  # the "cancellation check" with a side effect
+    asm.inc(Reg.RCX)
+    site_addr = asm.raw_syscall()
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    binary = asm.build("pthread_like")
+    site = SyscallSite(site_addr, SitePattern.CANCELLABLE, nr,
+                       "pthread_read")
+    binary.sites.append(site)
+    return binary, site
+
+
+class TestTrampolinePatching:
+    def test_trampoline_converts_and_preserves_side_effects(self):
+        binary, site = side_effect_cancellable(0, iterations=6)
+        xc = XContainer(CountingServices(results={0: 9}))
+        xc.load(binary)
+        report = OfflinePatcher(xc.memory).patch_sites(
+            binary, [site], preserve_intervening=True
+        )
+        assert report.patched == ["pthread_read"]
+        assert report.trampolines == ["pthread_read"]
+        result = xc.run_loaded(binary.entry)
+        # All six syscalls took the lightweight path...
+        assert xc.libos.stats.lightweight_syscalls == 6
+        assert xc.libos.stats.forwarded_syscalls == 0
+        # ...and the side-effecting check still ran every iteration.
+        assert xc.cpu.regs.read64(Reg.RCX) == 12
+        assert result.exit_rax == 9
+
+    def test_semantics_match_unpatched_run(self):
+        binary, site = side_effect_cancellable(2, iterations=4)
+        plain = XContainer(CountingServices())
+        plain.run(binary)
+        patched = XContainer(CountingServices())
+        patched.load(binary)
+        OfflinePatcher(patched.memory).patch_sites(
+            binary, [site], preserve_intervening=True
+        )
+        patched.run_loaded(binary.entry)
+        assert (
+            patched.libos.services.calls == plain.libos.services.calls
+        )
+        assert (
+            patched.cpu.regs.read64(Reg.RCX)
+            == plain.cpu.regs.read64(Reg.RCX)
+        )
+
+    def test_multiple_sites_share_the_trampoline_page(self):
+        asm = Assembler()
+        sites = []
+        asm.mov_imm32(Reg.RBX, 3)
+        asm.label("loop")
+        for nr in (0, 1, 3):
+            asm.mov_imm32(Reg.RAX, nr)
+            asm.nop(4)
+            addr = asm.raw_syscall()
+            site = SyscallSite(
+                addr, SitePattern.CANCELLABLE, nr, f"site{nr}"
+            )
+            sites.append(site)
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        asm.hlt()
+        binary = asm.build()
+        binary.sites.extend(sites)
+        xc = XContainer(CountingServices())
+        xc.load(binary)
+        patcher = OfflinePatcher(xc.memory)
+        report = patcher.patch_sites(
+            binary, sites, preserve_intervening=True
+        )
+        assert len(report.trampolines) == 3
+        xc.run_loaded(binary.entry)
+        assert xc.libos.stats.lightweight_syscalls == 9
+        assert xc.libos.services.calls == [0, 1, 3] * 3
+
+    def test_non_cancellable_site_skipped(self):
+        asm = Assembler()
+        site = asm.syscall_site(39, style="mov_eax", symbol="plain")
+        asm.hlt()
+        binary = asm.build()
+        xc = XContainer(CountingServices())
+        xc.load(binary)
+        report = OfflinePatcher(xc.memory).patch_sites(
+            binary, [site], preserve_intervening=True
+        )
+        assert report.skipped == ["plain"]

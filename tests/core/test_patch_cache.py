@@ -1,0 +1,99 @@
+from repro.arch import Assembler, Reg
+from repro.core import CountingServices, PatchCache, XContainer
+
+
+def loop_binary(iterations=10, name="app"):
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, iterations)
+    asm.label("loop")
+    asm.syscall_site(39, style="mov_eax")
+    asm.syscall_site(1, style="mov_rax")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build(name)
+
+
+class TestPatchCache:
+    def test_capture_records_dirty_text_pages(self):
+        binary = loop_binary()
+        xc = XContainer(CountingServices())
+        xc.run(binary)
+        cache = PatchCache()
+        captured = cache.capture(binary, xc.memory)
+        assert captured >= 1
+        assert binary.name in cache
+        assert cache.entry(binary.name).page_count == captured
+
+    def test_apply_prepatches_next_instance(self):
+        """§4.4: flushing the patched pages means 'the same patch is not
+        needed in the future' — the next instance never traps."""
+        binary = loop_binary()
+        cache = PatchCache()
+        first = XContainer(CountingServices())
+        first.run(binary)
+        cache.capture(binary, first.memory)
+
+        second = XContainer(CountingServices())
+        second.load(binary)
+        applied = cache.apply(binary, second.memory)
+        assert applied >= 1
+        second.run_loaded(binary.entry)
+        assert second.libos.stats.forwarded_syscalls == 0
+        assert second.libos.stats.lightweight_syscalls == 20
+        assert second.abom_stats.total_patches == 0
+
+    def test_applied_pages_are_clean(self):
+        binary = loop_binary()
+        cache = PatchCache()
+        first = XContainer(CountingServices())
+        first.run(binary)
+        cache.capture(binary, first.memory)
+        second = XContainer(CountingServices())
+        second.load(binary)
+        cache.apply(binary, second.memory)
+        assert second.memory.dirty_pages() == []
+
+    def test_apply_without_capture_is_noop(self):
+        binary = loop_binary()
+        xc = XContainer(CountingServices())
+        xc.load(binary)
+        assert PatchCache().apply(binary, xc.memory) == 0
+
+    def test_cache_keyed_by_binary_name(self):
+        a = loop_binary(name="app-a")
+        b = loop_binary(name="app-b")
+        cache = PatchCache()
+        xc = XContainer(CountingServices())
+        xc.run(a)
+        cache.capture(a, xc.memory)
+        assert "app-a" in cache
+        assert "app-b" not in cache
+        fresh = XContainer(CountingServices())
+        fresh.load(b)
+        assert cache.apply(b, fresh.memory) == 0
+
+    def test_semantics_identical_with_prepatched_text(self):
+        binary = loop_binary(iterations=7)
+        cache = PatchCache()
+        warm = XContainer(CountingServices())
+        warm.run(binary)
+        cache.capture(binary, warm.memory)
+        cold = XContainer(CountingServices())
+        cold.run(binary)
+        prepatched = XContainer(CountingServices())
+        prepatched.load(binary)
+        cache.apply(binary, prepatched.memory)
+        prepatched.run_loaded(binary.entry)
+        assert (
+            prepatched.libos.services.calls == cold.libos.services.calls
+        )
+
+    def test_clear(self):
+        binary = loop_binary()
+        cache = PatchCache()
+        xc = XContainer(CountingServices())
+        xc.run(binary)
+        cache.capture(binary, xc.memory)
+        cache.clear(binary.name)
+        assert binary.name not in cache

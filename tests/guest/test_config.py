@@ -1,0 +1,47 @@
+import pytest
+
+from repro.guest.config import KernelConfig
+
+
+class TestKernelConfig:
+    def test_defaults(self):
+        config = KernelConfig()
+        assert config.smp
+        assert config.kpti
+        assert config.kernel_work_factor() == 1.0
+
+    def test_nosmp_forces_one_cpu(self):
+        config = KernelConfig(smp=False, nr_cpus=8)
+        assert config.nr_cpus == 1
+
+    def test_bad_cpu_count_rejected(self):
+        with pytest.raises(ValueError):
+            KernelConfig(nr_cpus=0)
+
+    def test_single_concern_tuning_helps(self):
+        """§3.2: dedicating and tuning the kernel unlocks performance."""
+        tuned = KernelConfig(single_concern_tuned=True)
+        assert tuned.kernel_work_factor() < 1.0
+
+    def test_nosmp_compounds_with_tuning(self):
+        """§3.2: disabling SMP removes locking and TLB shootdowns."""
+        tuned = KernelConfig(single_concern_tuned=True)
+        tuned_up = KernelConfig(single_concern_tuned=True, smp=False)
+        assert tuned_up.kernel_work_factor() < tuned.kernel_work_factor()
+
+    def test_netstack_factor_strongest_for_dedicated_kernels(self):
+        shared = KernelConfig()
+        tuned = KernelConfig(single_concern_tuned=True)
+        assert tuned.netstack_factor() < shared.netstack_factor()
+
+    def test_host_default_cannot_load_modules(self):
+        assert not KernelConfig.host_default().modules_allowed
+
+    def test_xlibos_profile(self):
+        config = KernelConfig.xlibos()
+        assert config.single_concern_tuned
+        assert config.modules_allowed
+        assert not config.kpti  # nothing left to protect (§4.2)
+
+    def test_clear_guest_always_unpatched(self):
+        assert not KernelConfig.clear_guest().kpti

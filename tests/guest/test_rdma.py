@@ -1,0 +1,84 @@
+import pytest
+
+from repro.guest.modules import ModuleLoadError, ModuleRegistry
+from repro.guest.rdma import RdmaError, RdmaProvider, SoftRdmaDevice
+from repro.perf.clock import SimClock
+from repro.perf.costs import CostModel
+from repro.platforms import DockerPlatform, XContainerPlatform
+
+
+class TestDeviceCreation:
+    def test_requires_module_load(self):
+        """§5.7: Soft-RDMA modules are off limits inside Docker."""
+        docker_modules = ModuleRegistry(allowed=False)
+        with pytest.raises(ModuleLoadError):
+            SoftRdmaDevice(docker_modules, RdmaProvider.SOFT_ROCE)
+
+    def test_x_libos_can_create_both_providers(self):
+        for provider in RdmaProvider:
+            registry = ModuleRegistry(allowed=True)
+            device = SoftRdmaDevice(registry, provider)
+            assert registry.is_loaded(provider.value)
+            assert device.create_qp().qp_num == 1
+
+    def test_platform_level_distinction(self):
+        x_kernel = XContainerPlatform().make_kernel()
+        SoftRdmaDevice(x_kernel.modules, RdmaProvider.SOFT_IWARP)
+        docker_kernel = DockerPlatform().make_kernel()
+        with pytest.raises(ModuleLoadError):
+            SoftRdmaDevice(docker_kernel.modules, RdmaProvider.SOFT_IWARP)
+
+
+class TestQueuePairs:
+    def _qp(self, clock=None):
+        device = SoftRdmaDevice(
+            ModuleRegistry(allowed=True),
+            RdmaProvider.SOFT_ROCE,
+            CostModel(),
+            clock,
+        )
+        qp = device.create_qp()
+        qp.connect()
+        return device, qp
+
+    def test_send_produces_completion(self):
+        _, qp = self._qp()
+        wr = qp.post_send(4096)
+        completions = qp.poll_cq()
+        assert [c.wr_id for c in completions] == [wr]
+        assert completions[0].opcode == "SEND"
+        assert qp.stats.bytes_moved == 4096
+
+    def test_unconnected_qp_rejected(self):
+        device = SoftRdmaDevice(
+            ModuleRegistry(allowed=True), RdmaProvider.SOFT_ROCE
+        )
+        qp = device.create_qp()
+        with pytest.raises(RdmaError):
+            qp.post_send(10)
+
+    def test_negative_size_rejected(self):
+        _, qp = self._qp()
+        with pytest.raises(RdmaError):
+            qp.post_send(-1)
+
+    def test_poll_drains_in_order(self):
+        _, qp = self._qp()
+        ids = [qp.post_send(1), qp.post_recv(1), qp.post_send(2)]
+        polled = [c.wr_id for c in qp.poll_cq(max_entries=2)]
+        polled += [c.wr_id for c in qp.poll_cq()]
+        assert polled == ids
+        assert qp.poll_cq() == []
+
+    def test_sends_charge_clock(self):
+        clock = SimClock()
+        _, qp = self._qp(clock)
+        qp.post_send(1000)
+        assert clock.now_ns > 0
+
+    def test_rdma_beats_sockets(self):
+        """The point of the exercise: kernel-bypass messaging is cheaper
+        than syscall + stack traversal, especially on patched kernels."""
+        device, _ = self._qp()
+        docker_syscall = DockerPlatform().syscall_cost_ns()
+        assert device.speedup_vs_sockets(512, docker_syscall) > 2.0

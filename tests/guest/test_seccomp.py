@@ -1,0 +1,73 @@
+import pytest
+
+from repro.guest.seccomp import (
+    SeccompAction,
+    SeccompViolation,
+    docker_default_profile,
+    evaluate_policy,
+    tailored_profile,
+)
+from repro.workloads.apps import TABLE1_APPS
+from repro.xen.hypercalls import XEN_HYPERCALL_SURFACE
+
+
+def app_needs():
+    """Syscall numbers each Table 1 application actually uses."""
+    needs = {}
+    for app in TABLE1_APPS:
+        needs[app.name] = {site.nr for site in app.sites}
+    return needs
+
+
+class TestFilterMechanics:
+    def test_allowed_passes(self):
+        f = tailored_profile("x", {0, 1})
+        f.check(0)
+        assert f.checks == 1
+        assert f.violations == []
+
+    def test_blocked_raises(self):
+        f = tailored_profile("x", {0})
+        with pytest.raises(SeccompViolation) as excinfo:
+            f.check(59)
+        assert excinfo.value.nr == 59
+        assert excinfo.value.action is SeccompAction.ERRNO
+        assert f.violations == [59]
+
+    def test_breaks_and_residual(self):
+        f = tailored_profile("x", {0, 1, 2})
+        assert f.breaks({0, 5}) == {5}
+        assert f.residual_surface({0}) == 2
+
+
+class TestPolicyDilemma:
+    """§6.1 quantified over the Table 1 corpus."""
+
+    def test_docker_default_keeps_apps_working_but_open(self):
+        dilemma = evaluate_policy(docker_default_profile(), app_needs())
+        # The generic profile breaks nothing...
+        assert dilemma.apps_broken == []
+        # ...precisely because it leaves hundreds of syscalls open that
+        # each individual app never uses.
+        assert dilemma.mean_residual_surface > 250
+        assert dilemma.surface_reduction < 0.2
+
+    def test_tailored_profile_minimal_but_fragile(self):
+        needs = app_needs()
+        nginx = tailored_profile("nginx", needs["nginx"])
+        assert nginx.breaks(needs["nginx"]) == set()
+        assert nginx.residual_surface(needs["nginx"]) == 0
+        # The same tailored profile breaks a different app: you cannot
+        # define one policy "for arbitrary, previously unknown
+        # applications".
+        broken_elsewhere = [
+            name for name, other in needs.items()
+            if nginx.breaks(other)
+        ]
+        assert broken_elsewhere  # at least one other app breaks
+
+    def test_x_container_interface_beats_any_seccomp_outcome(self):
+        """Even the generous Docker profile leaves far more interface
+        than the X-Kernel's hypercall surface (§3.4)."""
+        profile = docker_default_profile()
+        assert len(profile.allowed) > 10 * XEN_HYPERCALL_SURFACE

@@ -1,0 +1,161 @@
+import pytest
+
+from repro.guest.kernel import SYS, GuestKernel
+from repro.guest.process import ProcessState
+from repro.guest.signals import (
+    SIGCHLD,
+    SIGINT,
+    SIGKILL,
+    SIGTERM,
+    SIGUSR1,
+    Disposition,
+    SignalError,
+    SignalSubsystem,
+)
+
+
+def make_subsystem():
+    killed = []
+    subsystem = SignalSubsystem(
+        terminate=lambda pid, sig: killed.append((pid, sig))
+    )
+    return subsystem, killed
+
+
+class TestDispositions:
+    def test_handler_runs(self):
+        subsystem, _ = make_subsystem()
+        seen = []
+        subsystem.sigaction(1, SIGUSR1, Disposition.HANDLER, seen.append)
+        subsystem.kill(1, SIGUSR1)
+        assert seen == [SIGUSR1]
+        assert subsystem.state(1).delivered == 1
+
+    def test_default_fatal_terminates(self):
+        subsystem, killed = make_subsystem()
+        subsystem.kill(1, SIGTERM)
+        assert killed == [(1, SIGTERM)]
+
+    def test_default_sigchld_ignored(self):
+        subsystem, killed = make_subsystem()
+        subsystem.kill(1, SIGCHLD)
+        assert killed == []
+
+    def test_ignore_disposition(self):
+        subsystem, killed = make_subsystem()
+        subsystem.sigaction(1, SIGTERM, Disposition.IGNORE)
+        subsystem.kill(1, SIGTERM)
+        assert killed == []
+
+    def test_sigkill_cannot_be_caught(self):
+        subsystem, _ = make_subsystem()
+        with pytest.raises(SignalError):
+            subsystem.sigaction(
+                1, SIGKILL, Disposition.HANDLER, lambda s: None
+            )
+
+    def test_handler_requires_callable(self):
+        subsystem, _ = make_subsystem()
+        with pytest.raises(SignalError):
+            subsystem.sigaction(1, SIGUSR1, Disposition.HANDLER, None)
+
+    def test_invalid_signal_rejected(self):
+        subsystem, _ = make_subsystem()
+        with pytest.raises(SignalError):
+            subsystem.kill(1, 0)
+        with pytest.raises(SignalError):
+            subsystem.kill(1, 64)
+
+
+class TestMasking:
+    def test_blocked_signal_becomes_pending(self):
+        subsystem, _ = make_subsystem()
+        seen = []
+        subsystem.sigaction(1, SIGUSR1, Disposition.HANDLER, seen.append)
+        subsystem.block(1, SIGUSR1)
+        subsystem.kill(1, SIGUSR1)
+        assert seen == []
+        assert subsystem.state(1).pending
+
+    def test_unblock_delivers_pending(self):
+        subsystem, _ = make_subsystem()
+        seen = []
+        subsystem.sigaction(1, SIGUSR1, Disposition.HANDLER, seen.append)
+        subsystem.block(1, SIGUSR1)
+        subsystem.kill(1, SIGUSR1)
+        subsystem.unblock(1, SIGUSR1)
+        assert seen == [SIGUSR1]
+
+    def test_sigkill_cannot_be_blocked(self):
+        subsystem, _ = make_subsystem()
+        with pytest.raises(SignalError):
+            subsystem.block(1, SIGKILL)
+
+
+class TestSigreturn:
+    """The __restore_rt / rt_sigreturn path of Figure 2."""
+
+    def test_handler_blocks_own_signal_until_sigreturn(self):
+        subsystem, _ = make_subsystem()
+        seen = []
+        subsystem.sigaction(1, SIGUSR1, Disposition.HANDLER, seen.append)
+        subsystem.kill(1, SIGUSR1)
+        # While "inside" the handler the signal is masked...
+        subsystem.kill(1, SIGUSR1)
+        assert seen == [SIGUSR1]
+        # ...and rt_sigreturn restores the mask and delivers the pending
+        # instance.
+        subsystem.sigreturn(1)
+        assert seen == [SIGUSR1, SIGUSR1]
+        assert subsystem.state(1).sigreturns == 1
+
+    def test_sigreturn_without_context_rejected(self):
+        subsystem, _ = make_subsystem()
+        with pytest.raises(SignalError):
+            subsystem.sigreturn(1)
+
+    def test_nested_handlers(self):
+        subsystem, _ = make_subsystem()
+        order = []
+        subsystem.sigaction(
+            1, SIGUSR1, Disposition.HANDLER, lambda s: order.append("usr1")
+        )
+        subsystem.sigaction(
+            1, SIGINT, Disposition.HANDLER, lambda s: order.append("int")
+        )
+        subsystem.kill(1, SIGUSR1)
+        subsystem.kill(1, SIGINT)  # different signal: nests
+        assert order == ["usr1", "int"]
+        assert len(subsystem.state(1).saved) == 2
+        subsystem.sigreturn(1)
+        subsystem.sigreturn(1)
+        assert subsystem.state(1).saved == []
+
+
+class TestKernelIntegration:
+    def test_fatal_signal_zombifies_process(self):
+        kernel = GuestKernel()
+        proc = kernel.spawn("victim")
+        kernel.signals.kill(proc.pid, SIGTERM)
+        assert proc.state is ProcessState.ZOMBIE
+        assert proc.exit_code == 128 + SIGTERM
+
+    def test_rt_sigreturn_syscall_wired(self):
+        from repro.arch.registers import RegisterFile
+
+        class FakeCpu:
+            def __init__(self):
+                self.regs = RegisterFile()
+                self.halted = False
+
+        kernel = GuestKernel()
+        cpu = FakeCpu()
+        kernel.invoke(SYS["getpid"], cpu)  # materialize the process
+        pid = next(iter(kernel._procs))
+        seen = []
+        kernel.signals.sigaction(
+            pid, SIGUSR1, Disposition.HANDLER, seen.append
+        )
+        kernel.signals.kill(pid, SIGUSR1)
+        assert kernel.invoke(SYS["rt_sigreturn"], cpu) == 0
+        assert kernel.signals.state(pid).sigreturns == 1

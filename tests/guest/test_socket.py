@@ -1,0 +1,148 @@
+import errno
+
+import pytest
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.socket import (
+    SocketError,
+    SocketLayer,
+    SocketState,
+    VirtualNetwork,
+)
+from repro.perf.clock import SimClock
+
+
+def make_pair():
+    """A server kernel and a client kernel on one virtual network."""
+    clock = SimClock()
+    network = VirtualNetwork(clock=clock)
+    server_kernel = GuestKernel(clock=clock)
+    client_kernel = GuestKernel(clock=clock)
+    server = SocketLayer(server_kernel, network)
+    client = SocketLayer(client_kernel, network)
+    server_pid = server_kernel.spawn("server").pid
+    client_pid = client_kernel.spawn("client").pid
+    return network, clock, (server, server_pid), (client, client_pid)
+
+
+def make_connection():
+    network, clock, (server, spid), (client, cpid) = make_pair()
+    listen_fd = server.socket(spid)
+    server.bind(spid, listen_fd, ("10.0.0.1", 80))
+    server.listen(spid, listen_fd)
+    client_fd = client.socket(cpid)
+    client.connect(cpid, client_fd, ("10.0.0.1", 80))
+    conn_fd = server.accept(spid, listen_fd)
+    return network, clock, (server, spid, conn_fd), (client, cpid, client_fd)
+
+
+class TestLifecycle:
+    def test_connect_accept(self):
+        network, _, (server, spid, conn_fd), (client, cpid, cfd) = (
+            make_connection()
+        )
+        assert network.connections == 1
+        assert server._sock(spid, conn_fd).state is SocketState.CONNECTED
+        assert client._sock(cpid, cfd).state is SocketState.CONNECTED
+
+    def test_connect_refused_without_listener(self):
+        _, _, _, (client, cpid) = make_pair()
+        fd = client.socket(cpid)
+        with pytest.raises(SocketError) as excinfo:
+            client.connect(cpid, fd, ("10.9.9.9", 80))
+        assert excinfo.value.errno == errno.ECONNREFUSED
+
+    def test_address_in_use(self):
+        _, _, (server, spid), _ = make_pair()
+        fd1 = server.socket(spid)
+        server.bind(spid, fd1, ("10.0.0.1", 80))
+        server.listen(spid, fd1)
+        fd2 = server.socket(spid)
+        server.bind(spid, fd2, ("10.0.0.1", 80))
+        with pytest.raises(SocketError) as excinfo:
+            server.listen(spid, fd2)
+        assert excinfo.value.errno == errno.EADDRINUSE
+
+    def test_accept_without_pending_eagain(self):
+        _, _, (server, spid), _ = make_pair()
+        fd = server.socket(spid)
+        server.bind(spid, fd, ("10.0.0.1", 80))
+        server.listen(spid, fd)
+        with pytest.raises(SocketError) as excinfo:
+            server.accept(spid, fd)
+        assert excinfo.value.errno == errno.EAGAIN
+
+    def test_listen_requires_bind(self):
+        _, _, (server, spid), _ = make_pair()
+        fd = server.socket(spid)
+        with pytest.raises(SocketError):
+            server.listen(spid, fd)
+
+    def test_close_unregisters_listener(self):
+        _, _, (server, spid), (client, cpid) = make_pair()
+        fd = server.socket(spid)
+        server.bind(spid, fd, ("10.0.0.1", 80))
+        server.listen(spid, fd)
+        server.close(spid, fd)
+        cfd = client.socket(cpid)
+        with pytest.raises(SocketError):
+            client.connect(cpid, cfd, ("10.0.0.1", 80))
+
+
+class TestDataPath:
+    def test_request_response_across_kernels(self):
+        _, _, (server, spid, conn_fd), (client, cpid, cfd) = (
+            make_connection()
+        )
+        client.send(cpid, cfd, b"GET / HTTP/1.1")
+        request = server.recv(spid, conn_fd, 1024)
+        assert request == b"GET / HTTP/1.1"
+        server.send(spid, conn_fd, b"200 OK")
+        assert client.recv(cpid, cfd, 1024) == b"200 OK"
+
+    def test_partial_and_ordered_recv(self):
+        _, _, (server, spid, conn_fd), (client, cpid, cfd) = (
+            make_connection()
+        )
+        client.send(cpid, cfd, b"abc")
+        client.send(cpid, cfd, b"def")
+        assert server.recv(spid, conn_fd, 2) == b"ab"
+        assert server.recv(spid, conn_fd, 10) == b"cdef"
+        assert server.recv(spid, conn_fd, 10) == b""
+
+    def test_send_on_unconnected_socket(self):
+        _, _, (server, spid), _ = make_pair()
+        fd = server.socket(spid)
+        with pytest.raises(SocketError) as excinfo:
+            server.send(spid, fd, b"x")
+        assert excinfo.value.errno == errno.ENOTCONN
+
+    def test_send_to_closed_peer_epipe(self):
+        _, _, (server, spid, conn_fd), (client, cpid, cfd) = (
+            make_connection()
+        )
+        client.close(cpid, cfd)
+        with pytest.raises(SocketError) as excinfo:
+            server.send(spid, conn_fd, b"x")
+        assert excinfo.value.errno == errno.EPIPE
+
+    def test_traffic_charges_the_clock(self):
+        _, clock, (server, spid, conn_fd), (client, cpid, cfd) = (
+            make_connection()
+        )
+        before = clock.now_ns
+        client.send(cpid, cfd, b"x" * 1000)
+        server.recv(spid, conn_fd, 1000)
+        assert clock.now_ns > before
+
+    def test_network_accounting(self):
+        network, _, (server, spid, conn_fd), (client, cpid, cfd) = (
+            make_connection()
+        )
+        client.send(cpid, cfd, b"12345")
+        assert network.bytes_carried == 5
+
+    def test_bad_fd(self):
+        _, _, (server, spid), _ = make_pair()
+        with pytest.raises(SocketError):
+            server.send(spid, 42, b"x")

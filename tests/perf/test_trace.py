@@ -1,0 +1,93 @@
+import pytest
+
+from repro.arch import Assembler, Reg
+from repro.core import CountingServices, XContainer
+from repro.perf.clock import SimClock
+from repro.perf.trace import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_emit_records_timestamp(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        clock.advance(100.0)
+        tracer.emit("cat", "event", x=1)
+        (event,) = tracer.events()
+        assert event.ts_ns == 100.0
+        assert event.detail == {"x": 1}
+
+    def test_filtering(self):
+        tracer = Tracer(SimClock())
+        tracer.emit("a", "one")
+        tracer.emit("b", "two")
+        tracer.emit("a", "two")
+        assert tracer.count("a") == 2
+        assert len(tracer.events(name="two")) == 2
+        assert len(tracer.events(category="a", name="two")) == 1
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(SimClock(), capacity=2)
+        for index in range(4):
+            tracer.emit("c", f"e{index}")
+        assert tracer.dropped == 2
+        assert [e.name for e in tracer.events()] == ["e2", "e3"]
+
+    def test_disabled_tracer_is_silent(self):
+        tracer = Tracer(SimClock())
+        tracer.enabled = False
+        tracer.emit("c", "e")
+        assert tracer.count() == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(SimClock(), capacity=0)
+
+    def test_render_hexifies_addresses(self):
+        event = TraceEvent(1000.0, "abom", "patch", {"site": 0x400005})
+        assert "0x400005" in event.render()
+
+    def test_span(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        tracer.emit("c", "start")
+        clock.advance(500.0)
+        tracer.emit("c", "end")
+        assert tracer.span_ns("c") == 500.0
+        assert tracer.span_ns("other") == 0.0
+
+    def test_clear(self):
+        tracer = Tracer(SimClock())
+        tracer.emit("c", "e")
+        tracer.clear()
+        assert tracer.count() == 0
+
+
+class TestContainerTracing:
+    def test_syscall_lifecycle_visible(self):
+        xc = XContainer(CountingServices())
+        tracer = Tracer(xc.clock)
+        xc.attach_tracer(tracer)
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 5)
+        asm.label("loop")
+        asm.syscall_site(39)
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        asm.hlt()
+        xc.run(asm.build())
+        assert len(tracer.events("syscall", "forwarded")) == 1
+        assert len(tracer.events("syscall", "lightweight")) == 4
+        assert len(tracer.events("abom", "patch")) == 1
+        # The patch event records the site address.
+        (patch,) = tracer.events("abom", "patch")
+        assert patch.detail["site"] > 0x400000
+
+    def test_unrecognized_sites_traced(self):
+        xc = XContainer(CountingServices())
+        tracer = Tracer(xc.clock)
+        xc.attach_tracer(tracer)
+        asm = Assembler()
+        asm.syscall_site(39, style="cancellable")
+        asm.hlt()
+        xc.run(asm.build())
+        assert len(tracer.events("abom", "unrecognized")) == 1

@@ -1,0 +1,36 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_platforms_listing(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "x-container" in out
+        assert "gvisor" in out
+
+    def test_tcb_table(self, capsys):
+        assert main(["tcb"]) == 0
+        out = capsys.readouterr().out
+        assert "x-container" in out
+        assert "surface vs docker" in out
+
+    def test_abom_demo_shows_patched_call(self, capsys):
+        assert main(["abom-demo", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "callq  *0xffffffffff600008" in out
+        assert "before:" in out and "after ABOM:" in out
+
+    def test_experiments_single_id(self, capsys):
+        assert main(["experiments", "spawn"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 4.5" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,28 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[s.stem for s in EXAMPLES]
+)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_present():
+    """The deliverable: at least a quickstart plus domain scenarios."""
+    names = {s.stem for s in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

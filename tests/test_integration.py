@@ -1,0 +1,100 @@
+"""Full-pipeline integration stories across subsystems."""
+
+import pytest
+
+from repro.arch import Assembler, Reg
+from repro.core import (
+    CountingServices,
+    DockerWrapper,
+    PatchCache,
+    XContainer,
+    demo_images,
+)
+from repro.guest.kernel import SYS
+
+
+def workload_binary(iterations=50):
+    asm = Assembler()
+    asm.mov_imm32(Reg.RBX, iterations)
+    asm.label("loop")
+    asm.syscall_site(SYS["getpid"], style="mov_eax", symbol="getpid")
+    asm.syscall_site(SYS["getuid"], style="mov_rax", symbol="getuid")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build("service")
+
+
+class TestImageToExecutionPipeline:
+    def test_registry_to_running_container(self):
+        """Image pull → rootfs materialization → bootstrap → machine-code
+        execution with live ABOM patching."""
+        wrapper = DockerWrapper(fast_toolstack=True, registry=demo_images())
+        container, kernel, timing = wrapper.spawn_image("nginx:1.13")
+        assert timing.total_ms < 300
+        # The image's files are visible inside the container's kernel.
+        assert kernel.vfs.exists("/etc/nginx/nginx.conf")
+        # The bootloader spawned the entrypoint directly.
+        assert kernel.processes[0].name == "/usr/sbin/nginx"
+        # Run a binary on it.
+        binary = workload_binary(30)
+        container.run(binary)
+        assert container.syscall_reduction() > 0.9
+        assert kernel.stats.syscalls == 60
+
+    def test_unknown_image_rejected(self):
+        wrapper = DockerWrapper(registry=demo_images())
+        with pytest.raises(KeyError):
+            wrapper.spawn_image("postgres:9")
+
+    def test_no_registry_configured(self):
+        with pytest.raises(RuntimeError):
+            DockerWrapper().spawn_image("nginx:1.13")
+
+
+class TestWarmStartPipeline:
+    def test_patch_cache_plus_checkpoint_roundtrip(self):
+        """The full warm-start story: run → capture patches → new
+        container pre-patched → checkpoint mid-run → restore →
+        completion.  Semantics identical to a cold run throughout."""
+        binary = workload_binary(40)
+        cache = PatchCache()
+
+        cold = XContainer(CountingServices(), name="cold")
+        cold.run(binary)
+        cache.capture(binary, cold.memory)
+        expected_calls = list(cold.libos.services.calls)
+
+        warm = XContainer(CountingServices(), name="warm")
+        warm.load(binary)
+        cache.apply(binary, warm.memory)
+        warm.cpu.regs.rip = binary.entry
+        warm.step(count=500)  # partway
+        ckpt = warm.checkpoint("warm-mid")
+
+        resumed = XContainer.restore(ckpt, CountingServices())
+        resumed.resume()
+        all_calls = warm.libos.services.calls + resumed.libos.services.calls
+        assert all_calls == expected_calls
+        # No traps anywhere on the warm path.
+        assert warm.libos.stats.forwarded_syscalls == 0
+        assert resumed.libos.stats.forwarded_syscalls == 0
+
+
+class TestScaleOutStory:
+    def test_many_containers_share_clock_and_patches(self):
+        """Spawn several containers of the same image; with a patch
+        cache only the first one pays ABOM's patch cost."""
+        binary = workload_binary(10)
+        cache = PatchCache()
+        total_patches = 0
+        for index in range(5):
+            xc = XContainer(CountingServices(), name=f"xc{index}")
+            xc.load(binary)
+            cache.apply(binary, xc.memory)
+            xc.run_loaded(binary.entry)
+            total_patches += xc.abom_stats.total_patches
+            if index == 0:
+                cache.capture(binary, xc.memory)
+            assert xc.libos.services.count(SYS["getpid"]) == 10
+        assert total_patches == 2  # both sites, once, in container 0

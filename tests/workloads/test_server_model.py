@@ -1,0 +1,90 @@
+import pytest
+
+from repro.cloud.instances import EC2, GCE, LOCAL_CLUSTER
+from repro.perf.rand import DeterministicRng
+from repro.platforms import DockerPlatform, GVisorPlatform, XContainerPlatform
+from repro.workloads.base import RequestProfile, ServerModel
+from repro.workloads.profiles import ALL_PROFILES, MEMCACHED, NGINX, REDIS
+
+
+class TestRequestProfile:
+    def test_profiles_registered(self):
+        assert {"nginx", "memcached", "redis"} <= set(ALL_PROFILES)
+
+    def test_with_processes(self):
+        four = NGINX.with_processes(4)
+        assert four.processes == 4
+        assert NGINX.processes == 1  # frozen original untouched
+
+
+class TestPerRequestCost:
+    def test_positive_for_all_profiles(self):
+        model = ServerModel(DockerPlatform(), EC2)
+        for profile in ALL_PROFILES.values():
+            assert model.per_request_ns(profile) > 0
+
+    def test_port_forwarding_toggle(self):
+        with_pf = ServerModel(DockerPlatform(), EC2, port_forwarding=True)
+        without = ServerModel(DockerPlatform(), EC2, port_forwarding=False)
+        assert (
+            with_pf.per_request_ns(NGINX) > without.per_request_ns(NGINX)
+        )
+
+    def test_site_cost_scale_applies(self):
+        ec2 = ServerModel(DockerPlatform(), EC2).per_request_ns(NGINX)
+        gce = ServerModel(DockerPlatform(), GCE).per_request_ns(NGINX)
+        assert gce != ec2
+
+
+class TestParallelism:
+    def test_multiprocess_spreads_over_cores(self):
+        model = ServerModel(DockerPlatform(), LOCAL_CLUSTER)
+        assert model.parallelism(NGINX.with_processes(4)) == 4.0
+
+    def test_capped_by_machine_threads(self):
+        model = ServerModel(DockerPlatform(), EC2)  # 8 threads
+        assert model.parallelism(NGINX.with_processes(64)) == 8.0
+
+    def test_gvisor_single_process_at_a_time(self):
+        """§2.3: processes spawn but do not run concurrently."""
+        model = ServerModel(GVisorPlatform(), LOCAL_CLUSTER)
+        assert model.parallelism(NGINX.with_processes(4)) == 1.0
+
+    def test_gvisor_threads_still_count(self):
+        model = ServerModel(GVisorPlatform(), LOCAL_CLUSTER)
+        assert model.parallelism(MEMCACHED) == 4.0  # 1 proc × 4 threads
+
+
+class TestMeasure:
+    def test_littles_law(self):
+        model = ServerModel(DockerPlatform(), EC2)
+        result = model.measure(NGINX, concurrency=40)
+        reconstructed = 40 / (result.mean_latency_ms / 1e3)
+        assert reconstructed == pytest.approx(result.throughput_rps)
+
+    def test_bad_concurrency_rejected(self):
+        model = ServerModel(DockerPlatform(), EC2)
+        with pytest.raises(ValueError):
+            model.measure(NGINX, concurrency=0)
+
+    def test_unpatched_label(self):
+        model = ServerModel(DockerPlatform(patched=False), EC2)
+        assert model.measure(REDIS).platform == "Docker-unpatched"
+
+    def test_line_rate_caps_throughput(self):
+        fat = RequestProfile(
+            name="fat", syscalls=1, kernel_work_ns=10, app_work_ns=10,
+            bytes_in=100, bytes_out=10_000_000,
+        )
+        model = ServerModel(XContainerPlatform(), LOCAL_CLUSTER)
+        result = model.measure(fat)
+        assert result.throughput_rps <= model.line_rate_rps(fat) * 1.001
+
+    def test_noise_reproducible(self):
+        rng1 = DeterministicRng("seed")
+        rng2 = DeterministicRng("seed")
+        m1 = ServerModel(DockerPlatform(), EC2, rng=rng1)
+        m2 = ServerModel(DockerPlatform(), EC2, rng=rng2)
+        r1 = m1.measure(NGINX, noise=0.05)
+        r2 = m2.measure(NGINX, noise=0.05)
+        assert r1.throughput_rps == r2.throughput_rps

@@ -1,0 +1,102 @@
+import pytest
+
+from repro.platforms import (
+    DockerPlatform,
+    XContainerPlatform,
+    XenContainerPlatform,
+)
+from repro.workloads import unixbench
+from repro.workloads.iperf import iperf_bench
+from repro.workloads.unixbench import build_syscall_bench
+
+
+class TestSyscallBench:
+    def test_binary_contains_both_patch_shapes(self):
+        binary = build_syscall_bench(10)
+        patterns = {site.pattern.value for site in binary.sites}
+        assert "mov_eax_imm" in patterns
+        assert "mov_rax_imm" in patterns
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            build_syscall_bench(0)
+
+    def test_x_container_much_faster_than_docker(self):
+        docker = unixbench.syscall_bench(DockerPlatform(), iterations=200)
+        x = unixbench.syscall_bench(XContainerPlatform(), iterations=200)
+        assert x.iterations_per_s > 10 * docker.iterations_per_s
+
+    def test_concurrency_penalizes_patched_docker_only(self):
+        docker_1 = unixbench.syscall_bench(
+            DockerPlatform(), iterations=100, concurrency=1
+        )
+        docker_4 = unixbench.syscall_bench(
+            DockerPlatform(), iterations=100, concurrency=4
+        )
+        assert docker_4.iterations_per_s < docker_1.iterations_per_s
+        x_1 = unixbench.syscall_bench(
+            XContainerPlatform(), iterations=100, concurrency=1
+        )
+        x_4 = unixbench.syscall_bench(
+            XContainerPlatform(), iterations=100, concurrency=4
+        )
+        assert x_4.iterations_per_s == pytest.approx(x_1.iterations_per_s)
+
+
+class TestLifecycleBenches:
+    def test_process_creation_docker_beats_x(self):
+        """§5.4: X-Containers lose Process Creation."""
+        docker = unixbench.process_creation_bench(
+            DockerPlatform(), iterations=20
+        )
+        x = unixbench.process_creation_bench(
+            XContainerPlatform(), iterations=20
+        )
+        assert docker.iterations_per_s > x.iterations_per_s
+
+    def test_context_switching_docker_unpatched_beats_x(self):
+        docker = unixbench.context_switch_bench(
+            DockerPlatform(patched=False), iterations=50
+        )
+        x = unixbench.context_switch_bench(
+            XContainerPlatform(), iterations=50
+        )
+        assert docker.iterations_per_s > x.iterations_per_s
+
+    def test_file_copy_x_beats_docker(self):
+        """Syscall-bound 1KB-buffer copy: conversion wins."""
+        docker = unixbench.file_copy_bench(DockerPlatform(), file_kb=32)
+        x = unixbench.file_copy_bench(XContainerPlatform(), file_kb=32)
+        assert x.iterations_per_s > 1.5 * docker.iterations_per_s
+
+    def test_pipe_x_beats_docker(self):
+        docker = unixbench.pipe_bench(DockerPlatform(), iterations=100)
+        x = unixbench.pipe_bench(XContainerPlatform(), iterations=100)
+        assert x.iterations_per_s > 1.5 * docker.iterations_per_s
+
+    def test_execl_x_beats_patched_docker(self):
+        docker = unixbench.execl_bench(DockerPlatform(), iterations=10)
+        x = unixbench.execl_bench(XContainerPlatform(), iterations=10)
+        assert x.iterations_per_s > docker.iterations_per_s
+
+    def test_xen_container_worst_at_pipe(self):
+        xen = unixbench.pipe_bench(XenContainerPlatform(), iterations=100)
+        docker = unixbench.pipe_bench(DockerPlatform(), iterations=100)
+        assert xen.iterations_per_s < docker.iterations_per_s
+
+
+class TestIperf:
+    def test_near_line_rate_for_native_and_x(self):
+        """Fig 5: iperf is roughly flat across Docker/Xen/X."""
+        docker = iperf_bench(DockerPlatform(), transfer_mb=32)
+        x = iperf_bench(XContainerPlatform(), transfer_mb=32)
+        ratio = x.gbits_per_s / docker.gbits_per_s
+        assert 0.8 < ratio < 1.3
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            iperf_bench(DockerPlatform(), transfer_mb=0)
+
+    def test_result_labels_unpatched(self):
+        result = iperf_bench(DockerPlatform(patched=False), transfer_mb=16)
+        assert result.platform.endswith("-unpatched")

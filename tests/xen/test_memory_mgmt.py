@@ -1,0 +1,118 @@
+import pytest
+
+from repro.perf.clock import SimClock
+from repro.xen.hypervisor import XenHypervisor
+from repro.xen.memory_mgmt import (
+    BalloonDriver,
+    BalloonError,
+    TranscendentMemory,
+)
+
+
+def make_balloon(memory_mb=512, **kwargs):
+    xen = XenHypervisor(clock=SimClock(), total_memory_mb=16384)
+    domain = xen.create_domain("u", memory_mb=memory_mb)
+    return xen, domain, BalloonDriver(xen, domain, **kwargs)
+
+
+class TestBalloon:
+    def test_inflate_returns_memory(self):
+        xen, domain, balloon = make_balloon()
+        free_before = xen.free_memory_mb
+        balloon.inflate(128)
+        assert domain.memory_mb == 384
+        assert xen.free_memory_mb == free_before + 128
+
+    def test_deflate_reclaims_memory(self):
+        xen, domain, balloon = make_balloon()
+        balloon.inflate(128)
+        balloon.deflate(64)
+        assert domain.memory_mb == 448
+
+    def test_floor_enforced(self):
+        _, _, balloon = make_balloon(memory_mb=128, min_mb=64)
+        with pytest.raises(BalloonError):
+            balloon.inflate(100)
+
+    def test_ceiling_enforced(self):
+        _, _, balloon = make_balloon(memory_mb=512, max_mb=640)
+        with pytest.raises(BalloonError):
+            balloon.deflate(256)
+
+    def test_cannot_deflate_beyond_free_pool(self):
+        xen = XenHypervisor(clock=SimClock(), total_memory_mb=4096 + 600)
+        domain = xen.create_domain("u", memory_mb=512)
+        balloon = BalloonDriver(xen, domain, max_mb=4096)
+        with pytest.raises(BalloonError):
+            balloon.deflate(512)  # only 88 MB free
+
+    def test_balloon_ops_are_hypercalls(self):
+        xen, _, balloon = make_balloon()
+        balloon.inflate(64)
+        balloon.deflate(64)
+        assert xen.hypercalls.counts["memory_op"] == 2
+
+    def test_bad_sizes_rejected(self):
+        _, _, balloon = make_balloon()
+        with pytest.raises(ValueError):
+            balloon.inflate(0)
+        with pytest.raises(ValueError):
+            balloon.deflate(-1)
+
+
+class TestTranscendentMemory:
+    def test_cleancache_roundtrip(self):
+        tmem = TranscendentMemory(capacity_pages=16)
+        assert tmem.cleancache_put(1, 100, b"page-data")
+        assert tmem.cleancache_get(1, 100) == b"page-data"
+
+    def test_cleancache_get_consumes(self):
+        tmem = TranscendentMemory(16)
+        tmem.cleancache_put(1, 100, b"x")
+        tmem.cleancache_get(1, 100)
+        assert tmem.cleancache_get(1, 100) is None
+        assert tmem.stats.cleancache_misses == 1
+
+    def test_domains_are_namespaced(self):
+        tmem = TranscendentMemory(16)
+        tmem.cleancache_put(1, 100, b"dom1")
+        tmem.cleancache_put(2, 100, b"dom2")
+        assert tmem.cleancache_get(2, 100) == b"dom2"
+
+    def test_cleancache_evicts_under_pressure(self):
+        """Ephemeral pool: old pages vanish when the pool fills."""
+        tmem = TranscendentMemory(capacity_pages=2)
+        tmem.cleancache_put(1, 1, b"a")
+        tmem.cleancache_put(1, 2, b"b")
+        tmem.cleancache_put(1, 3, b"c")  # evicts the oldest
+        assert tmem.stats.cleancache_evictions == 1
+        assert tmem.cleancache_get(1, 1) is None
+        assert tmem.cleancache_get(1, 3) == b"c"
+
+    def test_frontswap_is_persistent(self):
+        """RAM-based swap must never silently lose accepted pages."""
+        tmem = TranscendentMemory(capacity_pages=2)
+        assert tmem.frontswap_put(1, 1, b"swapped")
+        # Fill the rest with cleancache, then overflow: cleancache is
+        # sacrificed, frontswap pages survive.
+        tmem.cleancache_put(1, 50, b"cache")
+        assert tmem.frontswap_put(1, 2, b"more-swap")
+        assert tmem.frontswap_get(1, 1) == b"swapped"
+        assert tmem.frontswap_get(1, 2) == b"more-swap"
+
+    def test_frontswap_put_fails_when_truly_full(self):
+        tmem = TranscendentMemory(capacity_pages=1)
+        assert tmem.frontswap_put(1, 1, b"a")
+        assert not tmem.frontswap_put(1, 2, b"b")
+
+    def test_flush_domain(self):
+        tmem = TranscendentMemory(16)
+        tmem.cleancache_put(1, 1, b"a")
+        tmem.cleancache_put(1, 2, b"b")
+        tmem.cleancache_put(2, 1, b"c")
+        assert tmem.cleancache_flush_domain(1) == 2
+        assert tmem.cleancache_get(2, 1) == b"c"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TranscendentMemory(0)

@@ -1,0 +1,141 @@
+import pytest
+
+from repro.xen.xenstore import (
+    LIGHTVM_WRITES_PER_DOMAIN,
+    XL_WRITES_PER_DOMAIN,
+    TransactionConflict,
+    XenStore,
+    XenstoreError,
+    populate_domain,
+)
+
+
+class TestBasicOps:
+    def test_write_read(self):
+        store = XenStore()
+        store.write("/local/domain/1/name", "xc1")
+        assert store.read("/local/domain/1/name") == "xc1"
+
+    def test_parents_created_implicitly(self):
+        store = XenStore()
+        store.write("/a/b/c", "v")
+        assert store.exists("/a")
+        assert store.exists("/a/b")
+
+    def test_missing_path_errors(self):
+        with pytest.raises(XenstoreError):
+            XenStore().read("/nope")
+
+    def test_invalid_path_rejected(self):
+        with pytest.raises(XenstoreError):
+            XenStore().write("relative/path", "x")
+
+    def test_ls_direct_children(self):
+        store = XenStore()
+        store.write("/local/domain/1/name", "a")
+        store.write("/local/domain/2/name", "b")
+        assert store.ls("/local/domain") == ["1", "2"]
+
+    def test_rm_subtree(self):
+        store = XenStore()
+        store.write("/local/domain/1/name", "a")
+        store.write("/local/domain/1/memory/target", "128")
+        store.rm("/local/domain/1")
+        assert not store.exists("/local/domain/1/name")
+        assert not store.exists("/local/domain/1")
+        assert store.exists("/local/domain")
+
+    def test_ownership_enforced_for_guests(self):
+        store = XenStore()
+        store.write("/local/domain/1/name", "a", domid=1)
+        with pytest.raises(XenstoreError):
+            store.write("/local/domain/1/name", "evil", domid=2)
+        store.write("/local/domain/1/name", "fixed", domid=0)  # dom0 may
+
+
+class TestWatches:
+    def test_watch_fires_on_write(self):
+        store = XenStore()
+        fired = []
+        store.watch("/local/domain/1", fired.append)
+        store.write("/local/domain/1/state", "4")
+        assert fired == ["/local/domain/1/state"]
+
+    def test_watch_fires_on_rm(self):
+        store = XenStore()
+        store.write("/a/b", "x")
+        fired = []
+        store.watch("/a", fired.append)
+        store.rm("/a/b")
+        assert fired == ["/a/b"]
+
+    def test_unrelated_paths_do_not_fire(self):
+        store = XenStore()
+        fired = []
+        store.watch("/local/domain/1", fired.append)
+        store.write("/local/domain/2/state", "4")
+        assert fired == []
+
+    def test_unwatch(self):
+        store = XenStore()
+        fired = []
+        token = store.watch("/a", fired.append)
+        store.unwatch(token)
+        store.write("/a/x", "1")
+        assert fired == []
+
+
+class TestTransactions:
+    def test_commit_applies_buffered_writes(self):
+        store = XenStore()
+        txn = store.transaction()
+        txn.write("/a/b", "1")
+        txn.write("/a/c", "2")
+        assert not store.exists("/a/b")
+        txn.commit()
+        assert store.read("/a/b") == "1"
+        assert store.read("/a/c") == "2"
+
+    def test_read_your_own_writes(self):
+        store = XenStore()
+        txn = store.transaction()
+        txn.write("/a", "mine")
+        assert txn.read("/a") == "mine"
+
+    def test_conflicting_commit_aborts(self):
+        store = XenStore()
+        store.write("/counter", "1")
+        txn = store.transaction()
+        assert txn.read("/counter") == "1"
+        store.write("/counter", "2")  # concurrent writer
+        txn.write("/counter", "10")
+        with pytest.raises(TransactionConflict):
+            txn.commit()
+        assert store.read("/counter") == "2"
+
+    def test_writeonly_transaction_never_conflicts(self):
+        store = XenStore()
+        txn = store.transaction()
+        store.write("/other", "x")
+        txn.write("/mine", "1")
+        txn.commit()
+        assert store.read("/mine") == "1"
+
+    def test_finished_transaction_rejects_ops(self):
+        store = XenStore()
+        txn = store.transaction()
+        txn.commit()
+        with pytest.raises(XenstoreError):
+            txn.write("/a", "1")
+
+
+class TestToolstackTraffic:
+    def test_xl_writes_dwarf_lightvm(self):
+        """§4.5: the spawn gap, seen as store traffic."""
+        stock = XenStore()
+        populate_domain(stock, 1, "xc1", lightvm=False)
+        light = XenStore()
+        populate_domain(light, 1, "xc1", lightvm=True)
+        assert stock.writes == XL_WRITES_PER_DOMAIN
+        assert light.writes == LIGHTVM_WRITES_PER_DOMAIN
+        assert stock.writes > 10 * light.writes
