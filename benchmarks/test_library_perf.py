@@ -1,9 +1,12 @@
 """Library performance benchmarks (real wall time, multiple rounds).
 
 Unlike the figure benchmarks — which regenerate *simulated* results once —
-these measure the library's own speed: interpreter throughput, ABOM patch
-rate, and the functional HTTP stack.  Useful for catching performance
-regressions in the reproduction itself.
+these measure the library's own speed: interpreter throughput with and
+without the basic-block decode cache, ABOM patch rate, syscall dispatch,
+and the functional HTTP stack.  Useful for catching performance
+regressions in the reproduction itself.  Each benchmark records its
+ops/sec (and cache hit rate where applicable) into
+``BENCH_interpreter.json`` via the ``record_rate`` fixture.
 """
 
 from repro.arch import Assembler, CPU, PagedMemory, Reg
@@ -15,8 +18,7 @@ from repro.guest.socket import VirtualNetwork
 from repro.workloads.http import HttpClient, StaticHttpServer
 
 
-def test_interpreter_instruction_rate(benchmark):
-    """Plain instruction dispatch, no syscalls."""
+def _counting_binary():
     asm = Assembler()
     asm.mov_imm32(Reg.RBX, 2000)
     asm.label("loop")
@@ -24,13 +26,42 @@ def test_interpreter_instruction_rate(benchmark):
     asm.dec(Reg.RBX)
     asm.jne("loop")
     asm.hlt()
-    binary = asm.build()
+    return asm.build()
+
+
+def _loaded_memory(binary):
     memory = PagedMemory()
     binary.load(memory)
     memory.map_region(0x7F0000, 0x1000, PageFlags.USER | PageFlags.WRITABLE)
+    return memory
+
+
+def test_interpreter_instruction_rate(benchmark, record_rate):
+    """Plain instruction dispatch, no syscalls (decode cache on)."""
+    binary = _counting_binary()
+    memory = _loaded_memory(binary)
+    last = {}
 
     def run():
         cpu = CPU(memory)
+        cpu.regs.rip = binary.entry
+        cpu.regs.rsp = 0x7F0F00
+        cpu.run()
+        last["cpu"] = cpu
+        return cpu.instructions_retired
+
+    retired = benchmark(run)
+    assert retired > 6000
+    record_rate(benchmark, retired, icache=last["cpu"].icache_stats.as_dict())
+
+
+def test_interpreter_instruction_rate_uncached(benchmark, record_rate):
+    """Same program with ``icache=False``: the before/after control."""
+    binary = _counting_binary()
+    memory = _loaded_memory(binary)
+
+    def run():
+        cpu = CPU(memory, icache=False)
         cpu.regs.rip = binary.entry
         cpu.regs.rsp = 0x7F0F00
         cpu.run()
@@ -38,9 +69,10 @@ def test_interpreter_instruction_rate(benchmark):
 
     retired = benchmark(run)
     assert retired > 6000
+    record_rate(benchmark, retired, icache=None)
 
 
-def test_abom_patch_rate(benchmark):
+def test_abom_patch_rate(benchmark, record_rate):
     """Patching throughput over fresh sites each round."""
     def run():
         memory = PagedMemory()
@@ -62,9 +94,10 @@ def test_abom_patch_rate(benchmark):
 
     patches = benchmark(run)
     assert patches == 100
+    record_rate(benchmark, patches)
 
 
-def test_syscall_dispatch_rate(benchmark):
+def test_syscall_dispatch_rate(benchmark, record_rate):
     """Full converted-syscall round trips through the LibOS stub."""
     asm = Assembler()
     asm.mov_imm32(Reg.RBX, 500)
@@ -74,17 +107,20 @@ def test_syscall_dispatch_rate(benchmark):
     asm.jne("loop")
     asm.hlt()
     binary = asm.build()
+    last = {}
 
     def run():
         xc = XContainer(CountingServices())
         xc.run(binary)
+        last["xc"] = xc
         return xc.libos.stats.total_syscalls
 
     total = benchmark(run)
     assert total == 500
+    record_rate(benchmark, total, icache=last["xc"].icache_stats())
 
 
-def test_functional_http_request_rate(benchmark):
+def test_functional_http_request_rate(benchmark, record_rate):
     """Whole-stack request: connect, parse, serve from RamFS, respond."""
     network = VirtualNetwork()
     server = StaticHttpServer(GuestKernel(), network)
@@ -98,3 +134,4 @@ def test_functional_http_request_rate(benchmark):
 
     size = benchmark(run)
     assert size == 2048
+    record_rate(benchmark, 1, response_bytes=size)

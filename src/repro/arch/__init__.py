@@ -18,7 +18,7 @@ from repro.arch.registers import Reg, RegisterFile
 from repro.arch.memory import PagedMemory, PageFlags, PageFault
 from repro.arch.encoding import Instruction, decode, InvalidOpcode
 from repro.arch.assembler import Assembler
-from repro.arch.cpu import CPU, Trap, TrapKind, CpuHalted
+from repro.arch.cpu import CPU, ICacheStats, Trap, TrapKind, CpuHalted
 from repro.arch.binary import Binary, SyscallSite, SitePattern
 from repro.arch.disasm import disassemble, disassemble_memory, format_listing
 
@@ -33,6 +33,7 @@ __all__ = [
     "InvalidOpcode",
     "Assembler",
     "CPU",
+    "ICacheStats",
     "Trap",
     "TrapKind",
     "CpuHalted",

@@ -14,19 +14,39 @@ LibOS in machine code:
   callable instead of fetching code.  The X-LibOS maps its syscall-entry
   stubs (the targets of the vsyscall entry table) this way.  A stub is
   responsible for its own ``ret`` semantics.
+
+Decode performance comes from a **basic-block cache**: on the first visit
+to an address the interpreter decodes straight-line instructions until a
+control transfer, trap instruction, or page boundary, resolves each one's
+semantics handler from the dispatch table, and stores the block stamped
+with the generation counters of the page(s) it spans.  Later visits
+execute the pre-decoded block without touching the decoder.  A write to
+any stamped page — including ABOM's ``cmpxchg`` patches landing on live
+text (§4.4) — invalidates the block before its next execution, so
+self-modifying code is always observed.  See
+``docs/interpreter_performance.md``.
 """
 
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.arch.encoding import Instruction, InvalidOpcode, decode
-from repro.arch.memory import PagedMemory
+from repro.arch.encoding import (
+    ALL_MNEMONICS,
+    BLOCK_TERMINATORS,
+    Instruction,
+    InvalidOpcode,
+    decode,
+)
+from repro.arch.memory import PAGE_SHIFT, PAGE_SIZE, PagedMemory, PageFault
 from repro.arch.registers import Reg, RegisterFile, to_signed64
 
 MASK64 = (1 << 64) - 1
 MAX_INSTR_LEN = 15
+#: Straight-line decode stops after this many instructions per block.
+MAX_BLOCK_INSTRS = 64
 
 
 class TrapKind(enum.Enum):
@@ -54,6 +74,281 @@ TrapHandler = Callable[["CPU", Trap], None]
 NativeStub = Callable[["CPU"], None]
 
 
+# ----------------------------------------------------------------------
+# Semantics handlers (table-driven dispatch)
+#
+# One function per mnemonic, resolved once at decode time and stored on
+# the cached block, replacing the former ~30-arm if/elif chain.  Every
+# handler receives the pre-computed fall-through address and is
+# responsible for setting ``regs.rip`` (taken branches override it).
+# ----------------------------------------------------------------------
+def _h_nop(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    cpu.regs.rip = next_rip
+
+
+def _h_hlt(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    cpu.halted = True
+
+
+def _h_syscall(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    # Deliver BEFORE advancing RIP: handlers (the X-Kernel's ABOM hook in
+    # particular) need the syscall instruction's address.
+    cpu._deliver(Trap(TrapKind.SYSCALL, cpu.regs.rip))
+
+
+def _h_int3(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    cpu._deliver(Trap(TrapKind.BREAKPOINT, cpu.regs.rip))
+
+
+def _h_mov_r32_imm32(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    reg, imm = instr.operands
+    cpu.regs.write32(reg, imm)
+    cpu.regs.rip = next_rip
+
+
+def _h_mov_r64_imm32(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    reg, imm = instr.operands
+    cpu.regs.write64(reg, imm & MASK64)
+    cpu.regs.rip = next_rip
+
+
+def _h_mov_r64_r64(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    dst, src = instr.operands
+    cpu.regs.write64(dst, cpu.regs.read64(src))
+    cpu.regs.rip = next_rip
+
+
+def _h_mov_r32_r32(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    dst, src = instr.operands
+    cpu.regs.write32(dst, cpu.regs.read32(src))
+    cpu.regs.rip = next_rip
+
+
+def _h_mov_r32_rsp_disp8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    reg, disp = instr.operands
+    cpu.regs.write32(reg, cpu.mem.read_u32((cpu.regs.rsp + disp) & MASK64))
+    cpu.regs.rip = next_rip
+
+
+def _h_mov_r64_rsp_disp8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    reg, disp = instr.operands
+    cpu.regs.write64(reg, cpu.mem.read_u64((cpu.regs.rsp + disp) & MASK64))
+    cpu.regs.rip = next_rip
+
+
+def _h_mov_rsp_disp8_r32(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    disp, reg = instr.operands
+    cpu.mem.write_u32((cpu.regs.rsp + disp) & MASK64, cpu.regs.read32(reg))
+    cpu.regs.rip = next_rip
+
+
+def _h_mov_rsp_disp8_r64(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    disp, reg = instr.operands
+    cpu.mem.write_u64((cpu.regs.rsp + disp) & MASK64, cpu.regs.read64(reg))
+    cpu.regs.rip = next_rip
+
+
+def _h_push_r64(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (reg,) = instr.operands
+    cpu.push64(cpu.regs.read64(reg))
+    cpu.regs.rip = next_rip
+
+
+def _h_pop_r64(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (reg,) = instr.operands
+    cpu.regs.write64(reg, cpu.pop64())
+    cpu.regs.rip = next_rip
+
+
+def _h_ret(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    cpu.regs.rip = cpu.pop64()
+
+
+def _h_call_rel32(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (rel,) = instr.operands
+    cpu.push64(next_rip)
+    cpu.regs.rip = (next_rip + rel) & MASK64
+
+
+def _h_call_abs_ind(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (slot_addr,) = instr.operands
+    target = cpu.mem.read_u64(slot_addr)
+    cpu.push64(next_rip)
+    cpu.regs.rip = target
+
+
+def _h_jmp_rel(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (rel,) = instr.operands
+    cpu.regs.rip = (next_rip + rel) & MASK64
+
+
+def _h_je_rel8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (rel,) = instr.operands
+    cpu.regs.rip = (next_rip + rel) & MASK64 if cpu.regs.zf else next_rip
+
+
+def _h_jne_rel8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (rel,) = instr.operands
+    cpu.regs.rip = next_rip if cpu.regs.zf else (next_rip + rel) & MASK64
+
+
+def _h_jl_rel8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (rel,) = instr.operands
+    cpu.regs.rip = (next_rip + rel) & MASK64 if cpu.regs.sf else next_rip
+
+
+def _h_jg_rel8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (rel,) = instr.operands
+    taken = not cpu.regs.sf and not cpu.regs.zf
+    cpu.regs.rip = (next_rip + rel) & MASK64 if taken else next_rip
+
+
+def _h_add_r64_imm8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    reg, imm = instr.operands
+    result = (cpu.regs.read64(reg) + imm) & MASK64
+    cpu.regs.write64(reg, result)
+    cpu._set_flags(result)
+    cpu.regs.rip = next_rip
+
+
+def _h_sub_r64_imm8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    reg, imm = instr.operands
+    result = (cpu.regs.read64(reg) - imm) & MASK64
+    cpu.regs.write64(reg, result)
+    cpu._set_flags(result)
+    cpu.regs.rip = next_rip
+
+
+def _h_cmp_r64_imm8(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    reg, imm = instr.operands
+    value = cpu.regs.read64(reg)
+    result = (value - imm) & MASK64
+    cpu._set_flags(result)
+    cpu.regs.cf = value < (imm & MASK64)
+    cpu.regs.rip = next_rip
+
+
+def _h_inc_r64(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (reg,) = instr.operands
+    result = (cpu.regs.read64(reg) + 1) & MASK64
+    cpu.regs.write64(reg, result)
+    cpu._set_flags(result)
+    cpu.regs.rip = next_rip
+
+
+def _h_dec_r64(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    (reg,) = instr.operands
+    result = (cpu.regs.read64(reg) - 1) & MASK64
+    cpu.regs.write64(reg, result)
+    cpu._set_flags(result)
+    cpu.regs.rip = next_rip
+
+
+def _h_xor_r32_r32(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    dst, src = instr.operands
+    result = cpu.regs.read32(dst) ^ cpu.regs.read32(src)
+    cpu.regs.write32(dst, result)
+    cpu._set_flags(result)
+    cpu.regs.rip = next_rip
+
+
+def _h_xor_r64_r64(cpu: "CPU", instr: Instruction, next_rip: int) -> None:
+    dst, src = instr.operands
+    result = cpu.regs.read64(dst) ^ cpu.regs.read64(src)
+    cpu.regs.write64(dst, result)
+    cpu._set_flags(result)
+    cpu.regs.rip = next_rip
+
+
+InstrHandler = Callable[["CPU", Instruction, int], None]
+
+HANDLERS: dict[str, InstrHandler] = {
+    "nop": _h_nop,
+    "hlt": _h_hlt,
+    "syscall": _h_syscall,
+    "int3": _h_int3,
+    "mov_r32_imm32": _h_mov_r32_imm32,
+    "mov_r64_imm32": _h_mov_r64_imm32,
+    "mov_r64_r64": _h_mov_r64_r64,
+    "mov_r32_r32": _h_mov_r32_r32,
+    "mov_r32_rsp_disp8": _h_mov_r32_rsp_disp8,
+    "mov_r64_rsp_disp8": _h_mov_r64_rsp_disp8,
+    "mov_rsp_disp8_r32": _h_mov_rsp_disp8_r32,
+    "mov_rsp_disp8_r64": _h_mov_rsp_disp8_r64,
+    "push_r64": _h_push_r64,
+    "pop_r64": _h_pop_r64,
+    "ret": _h_ret,
+    "call_rel32": _h_call_rel32,
+    "call_abs_ind": _h_call_abs_ind,
+    "jmp_rel8": _h_jmp_rel,
+    "jmp_rel32": _h_jmp_rel,
+    "je_rel8": _h_je_rel8,
+    "jne_rel8": _h_jne_rel8,
+    "jl_rel8": _h_jl_rel8,
+    "jg_rel8": _h_jg_rel8,
+    "add_r64_imm8": _h_add_r64_imm8,
+    "sub_r64_imm8": _h_sub_r64_imm8,
+    "cmp_r64_imm8": _h_cmp_r64_imm8,
+    "inc_r64": _h_inc_r64,
+    "dec_r64": _h_dec_r64,
+    "xor_r32_r32": _h_xor_r32_r32,
+    "xor_r64_r64": _h_xor_r64_r64,
+}
+
+assert set(HANDLERS) == ALL_MNEMONICS, "decoder and executor out of sync"
+
+
+# ----------------------------------------------------------------------
+# Decode cache
+# ----------------------------------------------------------------------
+@dataclass
+class ICacheStats:
+    """Decode-cache counters, exposed for benchmarks and perf reporting.
+
+    ``hits`` counts instructions executed from cached blocks, ``misses``
+    counts block decodes (cache fills), and ``invalidations`` counts
+    blocks dropped because a store (or permission change) touched one of
+    the pages they were decoded from.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _Block:
+    """A decoded straight-line run of instructions.
+
+    ``ops`` holds ``(addr, handler, instr, next_rip)`` tuples; ``pages``
+    the ``(page_index, generation)`` stamps of every page the block's
+    bytes span.  ``live`` flips to False on eviction so an executing
+    cursor holding a reference abandons the block mid-run — the moment an
+    ABOM patch lands on the current block, the very next instruction is
+    re-fetched from the rewritten bytes.
+    """
+
+    __slots__ = ("start", "ops", "pages", "live")
+
+    def __init__(self, start, ops, pages) -> None:
+        self.start = start
+        self.ops = ops
+        self.pages = pages
+        self.live = True
+
+
 class CPU:
     """Interprets the instruction subset over paged memory."""
 
@@ -62,6 +357,7 @@ class CPU:
         memory: PagedMemory,
         clock=None,
         instruction_ns: float = 0.0,
+        icache: bool = True,
     ) -> None:
         self.mem = memory
         self.regs = RegisterFile()
@@ -71,6 +367,16 @@ class CPU:
         self.native_stubs: dict[int, NativeStub] = {}
         self.instructions_retired = 0
         self.halted = False
+        self.icache_enabled = icache
+        self.icache_stats = ICacheStats()
+        #: Cached blocks keyed by start address.
+        self._blocks: dict[int, _Block] = {}
+        #: page index -> start addresses of blocks decoded from that page.
+        self._page_blocks: dict[int, set[int]] = {}
+        #: (block, next op index) continuation for straight-line execution.
+        self._cursor: Optional[tuple[_Block, int]] = None
+        if icache:
+            memory.add_write_observer(self._invalidate_written)
 
     # ------------------------------------------------------------------
     # Stack helpers
@@ -87,20 +393,128 @@ class CPU:
     # ------------------------------------------------------------------
     # Fetch/decode
     # ------------------------------------------------------------------
-    def _fetch_window(self, addr: int) -> bytes:
-        """Read up to MAX_INSTR_LEN mapped bytes starting at ``addr``."""
-        out = bytearray()
-        for i in range(MAX_INSTR_LEN):
-            if not self.mem.is_mapped(addr + i):
-                break
-            out += self.mem.read(addr + i, 1)
-        if not out:
-            raise Trap(TrapKind.PAGE_FAULT, addr, "instruction fetch")
-        return bytes(out)
+    def _fetch_window(self, addr: int, size: int = MAX_INSTR_LEN) -> bytes:
+        """Read up to ``size`` executable bytes starting at ``addr``."""
+        try:
+            window = self.mem.fetch(addr, size)
+        except PageFault as exc:
+            raise Trap(TrapKind.PAGE_FAULT, addr, exc.reason) from None
+        return window
 
     def decode_at(self, addr: int) -> Instruction:
         window = self._fetch_window(addr)
         return decode(window, 0)
+
+    # ------------------------------------------------------------------
+    # Decode cache
+    # ------------------------------------------------------------------
+    def _cached_op(self, rip: int):
+        """The pre-decoded op at ``rip``, or None on a cache miss."""
+        cursor = self._cursor
+        if cursor is not None:
+            block, index = cursor
+            if block.live and index < len(block.ops):
+                op = block.ops[index]
+                if op[0] == rip:
+                    self._cursor = (block, index + 1)
+                    self.icache_stats.hits += 1
+                    return op
+            self._cursor = None
+        block = self._blocks.get(rip)
+        if block is None:
+            return None
+        # Generation check: the write observer evicts eagerly, but a block
+        # can also go stale without an observed store (e.g. this CPU was
+        # attached after another mutated the text).  Stamps are the
+        # ground truth; the observer is the fast path.
+        generation_of = self.mem.page_generation_index
+        for index, stamp in block.pages:
+            if generation_of(index) != stamp:
+                self._evict(block)
+                self.icache_stats.invalidations += 1
+                return None
+        self._cursor = (block, 1)
+        self.icache_stats.hits += 1
+        return block.ops[0]
+
+    def _fill_block(self, rip: int) -> _Block:
+        """Decode a basic block starting at ``rip`` and cache it.
+
+        Decoding runs straight-line until a control transfer, trap
+        instruction, page boundary, native-stub address, or undecodable
+        bytes.  Raises :class:`InvalidOpcode` when the *first* instruction
+        is undecodable (the caller delivers #UD) and :class:`Trap` when
+        the fetch itself faults.
+        """
+        self.icache_stats.misses += 1
+        mem = self.mem
+        page_end = (rip & ~(PAGE_SIZE - 1)) + PAGE_SIZE
+        window = self._fetch_window(rip, (page_end - rip) + MAX_INSTR_LEN)
+        stubs = self.native_stubs
+        ops = []
+        offset = 0
+        while True:
+            addr = rip + offset
+            if addr >= page_end:
+                break
+            if ops and addr in stubs:
+                break
+            try:
+                instr = decode(window, offset)
+            except InvalidOpcode:
+                if not ops:
+                    raise
+                break
+            offset += instr.length
+            ops.append((addr, HANDLERS[instr.mnemonic], instr, rip + offset))
+            if instr.mnemonic in BLOCK_TERMINATORS or len(ops) >= MAX_BLOCK_INSTRS:
+                break
+        first_page = rip >> PAGE_SHIFT
+        last_page = (rip + offset - 1) >> PAGE_SHIFT
+        pages = tuple(
+            (index, mem.page_generation_index(index))
+            for index in range(first_page, last_page + 1)
+        )
+        block = _Block(rip, ops, pages)
+        self._blocks[rip] = block
+        for index, _ in pages:
+            self._page_blocks.setdefault(index, set()).add(rip)
+        return block
+
+    def _evict(self, block: _Block) -> None:
+        block.live = False
+        self._blocks.pop(block.start, None)
+        for index, _ in block.pages:
+            starts = self._page_blocks.get(index)
+            if starts is not None:
+                starts.discard(block.start)
+                if not starts:
+                    del self._page_blocks[index]
+
+    def _invalidate_written(self, addr: int, size: int) -> None:
+        """Write-observer hook: drop blocks decoded from written pages."""
+        page_blocks = self._page_blocks
+        if not page_blocks:
+            return
+        first = addr >> PAGE_SHIFT
+        last = (addr + size - 1) >> PAGE_SHIFT
+        for index in range(first, last + 1):
+            starts = page_blocks.get(index)
+            if not starts:
+                continue
+            for start in list(starts):
+                block = self._blocks.get(start)
+                if block is not None:
+                    self._evict(block)
+                    self.icache_stats.invalidations += 1
+
+    def flush_icache(self) -> None:
+        """Drop every cached block (counters are preserved)."""
+        for block in list(self._blocks.values()):
+            block.live = False
+        self._blocks.clear()
+        self._page_blocks.clear()
+        self._cursor = None
 
     # ------------------------------------------------------------------
     # Execution
@@ -113,6 +527,22 @@ class CPU:
         stub = self.native_stubs.get(rip)
         if stub is not None:
             stub(self)
+            self._charge()
+            return
+        if self.icache_enabled:
+            op = self._cached_op(rip)
+            if op is None:
+                try:
+                    block = self._fill_block(rip)
+                except InvalidOpcode as exc:
+                    self._deliver(
+                        Trap(TrapKind.INVALID_OPCODE, rip, f"byte {exc.byte:#04x}")
+                    )
+                    self._charge()
+                    return
+                self._cursor = (block, 1)
+                op = block.ops[0]
+            op[1](self, op[2], op[3])
             self._charge()
             return
         try:
@@ -151,132 +581,10 @@ class CPU:
     # Semantics
     # ------------------------------------------------------------------
     def _execute(self, instr: Instruction) -> None:
-        regs = self.regs
-        next_rip = regs.rip + instr.length
-        name = instr.mnemonic
-
-        if name == "nop":
-            regs.rip = next_rip
-        elif name == "hlt":
-            self.halted = True
-        elif name == "syscall":
-            # Deliver BEFORE advancing RIP: handlers (the X-Kernel's ABOM
-            # hook in particular) need the syscall instruction's address.
-            self._deliver(Trap(TrapKind.SYSCALL, regs.rip))
-        elif name == "int3":
-            self._deliver(Trap(TrapKind.BREAKPOINT, regs.rip))
-        elif name == "mov_r32_imm32":
-            reg, imm = instr.operands
-            regs.write32(reg, imm)
-            regs.rip = next_rip
-        elif name == "mov_r64_imm32":
-            reg, imm = instr.operands
-            regs.write64(reg, imm & MASK64)
-            regs.rip = next_rip
-        elif name == "mov_r64_r64":
-            dst, src = instr.operands
-            regs.write64(dst, regs.read64(src))
-            regs.rip = next_rip
-        elif name == "mov_r32_r32":
-            dst, src = instr.operands
-            regs.write32(dst, regs.read32(src))
-            regs.rip = next_rip
-        elif name == "mov_r32_rsp_disp8":
-            reg, disp = instr.operands
-            regs.write32(reg, self.mem.read_u32((regs.rsp + disp) & MASK64))
-            regs.rip = next_rip
-        elif name == "mov_r64_rsp_disp8":
-            reg, disp = instr.operands
-            regs.write64(reg, self.mem.read_u64((regs.rsp + disp) & MASK64))
-            regs.rip = next_rip
-        elif name == "mov_rsp_disp8_r32":
-            disp, reg = instr.operands
-            self.mem.write_u32((regs.rsp + disp) & MASK64, regs.read32(reg))
-            regs.rip = next_rip
-        elif name == "mov_rsp_disp8_r64":
-            disp, reg = instr.operands
-            self.mem.write_u64((regs.rsp + disp) & MASK64, regs.read64(reg))
-            regs.rip = next_rip
-        elif name == "push_r64":
-            (reg,) = instr.operands
-            self.push64(regs.read64(reg))
-            regs.rip = next_rip
-        elif name == "pop_r64":
-            (reg,) = instr.operands
-            regs.write64(reg, self.pop64())
-            regs.rip = next_rip
-        elif name == "ret":
-            regs.rip = self.pop64()
-        elif name == "call_rel32":
-            (rel,) = instr.operands
-            self.push64(next_rip)
-            regs.rip = (next_rip + rel) & MASK64
-        elif name == "call_abs_ind":
-            (slot_addr,) = instr.operands
-            target = self.mem.read_u64(slot_addr)
-            self.push64(next_rip)
-            regs.rip = target
-        elif name == "jmp_rel8" or name == "jmp_rel32":
-            (rel,) = instr.operands
-            regs.rip = (next_rip + rel) & MASK64
-        elif name == "je_rel8":
-            (rel,) = instr.operands
-            regs.rip = (next_rip + rel) & MASK64 if regs.zf else next_rip
-        elif name == "jne_rel8":
-            (rel,) = instr.operands
-            regs.rip = next_rip if regs.zf else (next_rip + rel) & MASK64
-        elif name == "jl_rel8":
-            (rel,) = instr.operands
-            regs.rip = (next_rip + rel) & MASK64 if regs.sf else next_rip
-        elif name == "jg_rel8":
-            (rel,) = instr.operands
-            taken = not regs.sf and not regs.zf
-            regs.rip = (next_rip + rel) & MASK64 if taken else next_rip
-        elif name == "add_r64_imm8":
-            reg, imm = instr.operands
-            result = (regs.read64(reg) + imm) & MASK64
-            regs.write64(reg, result)
-            self._set_flags(result)
-            regs.rip = next_rip
-        elif name == "sub_r64_imm8":
-            reg, imm = instr.operands
-            result = (regs.read64(reg) - imm) & MASK64
-            regs.write64(reg, result)
-            self._set_flags(result)
-            regs.rip = next_rip
-        elif name == "cmp_r64_imm8":
-            reg, imm = instr.operands
-            value = regs.read64(reg)
-            result = (value - imm) & MASK64
-            self._set_flags(result)
-            regs.cf = value < (imm & MASK64)
-            regs.rip = next_rip
-        elif name == "inc_r64":
-            (reg,) = instr.operands
-            result = (regs.read64(reg) + 1) & MASK64
-            regs.write64(reg, result)
-            self._set_flags(result)
-            regs.rip = next_rip
-        elif name == "dec_r64":
-            (reg,) = instr.operands
-            result = (regs.read64(reg) - 1) & MASK64
-            regs.write64(reg, result)
-            self._set_flags(result)
-            regs.rip = next_rip
-        elif name == "xor_r32_r32":
-            dst, src = instr.operands
-            result = regs.read32(dst) ^ regs.read32(src)
-            regs.write32(dst, result)
-            self._set_flags(result)
-            regs.rip = next_rip
-        elif name == "xor_r64_r64":
-            dst, src = instr.operands
-            result = regs.read64(dst) ^ regs.read64(src)
-            regs.write64(dst, result)
-            self._set_flags(result)
-            regs.rip = next_rip
-        else:  # pragma: no cover - decoder and executor must stay in sync
-            raise NotImplementedError(f"no semantics for {name}")
+        handler = HANDLERS.get(instr.mnemonic)
+        if handler is None:  # pragma: no cover - HANDLERS covers the decoder
+            raise NotImplementedError(f"no semantics for {instr.mnemonic}")
+        handler(self, instr, self.regs.rip + instr.length)
 
     def _set_flags(self, result: int) -> None:
         self.regs.zf = result == 0

@@ -40,6 +40,64 @@ from repro.arch.registers import Reg, sign_extend
 
 MASK64 = (1 << 64) - 1
 
+#: Every mnemonic the decoder can produce.  The CPU's handler table is
+#: checked against this set so the decoder and executor cannot drift apart.
+ALL_MNEMONICS = frozenset(
+    {
+        "nop",
+        "ret",
+        "int3",
+        "hlt",
+        "syscall",
+        "push_r64",
+        "pop_r64",
+        "mov_r32_imm32",
+        "mov_r64_imm32",
+        "mov_r64_r64",
+        "mov_r32_r32",
+        "mov_r32_rsp_disp8",
+        "mov_r64_rsp_disp8",
+        "mov_rsp_disp8_r32",
+        "mov_rsp_disp8_r64",
+        "call_rel32",
+        "call_abs_ind",
+        "jmp_rel8",
+        "jmp_rel32",
+        "je_rel8",
+        "jne_rel8",
+        "jl_rel8",
+        "jg_rel8",
+        "add_r64_imm8",
+        "sub_r64_imm8",
+        "cmp_r64_imm8",
+        "inc_r64",
+        "dec_r64",
+        "xor_r32_r32",
+        "xor_r64_r64",
+    }
+)
+
+#: Mnemonics that end a basic block for the decode cache: anything that
+#: transfers control, traps, or halts.  ``syscall``/``int3`` end blocks
+#: because their trap handlers may move RIP arbitrarily — and, in ABOM's
+#: case, rewrite the very bytes the block was decoded from.
+BLOCK_TERMINATORS = frozenset(
+    {
+        "ret",
+        "hlt",
+        "syscall",
+        "int3",
+        "call_rel32",
+        "call_abs_ind",
+        "jmp_rel8",
+        "jmp_rel32",
+        "je_rel8",
+        "jne_rel8",
+        "jl_rel8",
+        "jg_rel8",
+    }
+)
+
 
 class InvalidOpcode(Exception):
     """Raised when the decoder meets bytes outside the subset (#UD)."""

@@ -6,14 +6,30 @@ the write-protect check disabled (the paper's "disables ... the
 write-protection bit in the CR-0 register"), and patched pages get their
 DIRTY bit set (§4.4: "the page table dirty bit will be set for read-only
 pages").
+
+Each page additionally carries a **generation counter**, bumped on every
+store that touches it (including the ``cmpxchg`` stores ABOM uses) and on
+permission changes.  The CPU's basic-block decode cache stamps cached
+blocks with the generations of the pages they were decoded from and drops
+a block the moment a stamp goes stale — the software analogue of the
+hardware i-cache coherence §4.4's atomic-patch argument relies on.  Write
+observers provide the eager push-side of the same protocol.
 """
 
 from __future__ import annotations
 
 from enum import IntFlag
+from typing import Callable
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
+_OFFSET_MASK = PAGE_SIZE - 1
+_MASK64 = (1 << 64) - 1
+_MASK32 = (1 << 32) - 1
+
+#: ``observer(addr, size)`` — called after bytes in ``[addr, addr+size)``
+#: change (one call per page chunk of a spanning write).
+WriteObserver = Callable[[int, int], None]
 
 
 class PageFlags(IntFlag):
@@ -35,11 +51,12 @@ class PageFault(Exception):
 
 
 class _Page:
-    __slots__ = ("data", "flags")
+    __slots__ = ("data", "flags", "generation")
 
     def __init__(self, flags: PageFlags) -> None:
         self.data = bytearray(PAGE_SIZE)
         self.flags = flags
+        self.generation = 0
 
 
 class PagedMemory:
@@ -53,6 +70,25 @@ class PagedMemory:
     def __init__(self) -> None:
         self._pages: dict[int, _Page] = {}
         self.wp_enabled = True
+        self._write_observers: list[WriteObserver] = []
+
+    # ------------------------------------------------------------------
+    # Write observation (decode-cache invalidation hook)
+    # ------------------------------------------------------------------
+    def add_write_observer(self, observer: WriteObserver) -> None:
+        """Call ``observer(addr, size)`` after every store (per page chunk).
+
+        Permission changes notify with page granularity: a re-flagged page
+        can gain or lose EXECUTABLE, which cached decodes must observe.
+        """
+        self._write_observers.append(observer)
+
+    def remove_write_observer(self, observer: WriteObserver) -> None:
+        self._write_observers.remove(observer)
+
+    def _notify(self, addr: int, size: int) -> None:
+        for observer in self._write_observers:
+            observer(addr, size)
 
     # ------------------------------------------------------------------
     # Mapping
@@ -69,6 +105,8 @@ class PagedMemory:
                 self._pages[index] = _Page(flags | PageFlags.PRESENT)
             else:
                 page.flags = flags | PageFlags.PRESENT
+                page.generation += 1
+                self._notify(index << PAGE_SHIFT, PAGE_SIZE)
 
     def is_mapped(self, addr: int) -> bool:
         return (addr >> PAGE_SHIFT) in self._pages
@@ -84,11 +122,29 @@ class PagedMemory:
         if page is None:
             raise PageFault(addr, "not mapped")
         page.flags = flags | PageFlags.PRESENT
+        page.generation += 1
+        self._notify(addr & ~_OFFSET_MASK, PAGE_SIZE)
+
+    def page_generation(self, addr: int) -> int:
+        """Generation counter of the page containing ``addr``."""
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            raise PageFault(addr, "not mapped")
+        return page.generation
+
+    def page_generation_index(self, index: int) -> int:
+        """Generation of page ``index`` (-1 when unmapped) — cache hot path."""
+        page = self._pages.get(index)
+        return -1 if page is None else page.generation
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def read(self, addr: int, size: int) -> bytes:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        offset = addr & _OFFSET_MASK
+        if page is not None and offset + size <= PAGE_SIZE:
+            return bytes(page.data[offset : offset + size])
         out = bytearray()
         remaining = size
         cursor = addr
@@ -96,12 +152,44 @@ class PagedMemory:
             page = self._pages.get(cursor >> PAGE_SHIFT)
             if page is None:
                 raise PageFault(cursor, "read of unmapped page")
-            offset = cursor & (PAGE_SIZE - 1)
+            offset = cursor & _OFFSET_MASK
             chunk = min(remaining, PAGE_SIZE - offset)
             out += page.data[offset : offset + chunk]
             cursor += chunk
             remaining -= chunk
         return bytes(out)
+
+    def fetch(self, addr: int, size: int) -> bytes:
+        """Read up to ``size`` bytes for *instruction fetch*.
+
+        Unlike :meth:`read` this enforces the EXECUTABLE permission: a
+        fetch whose first byte lies on an unmapped or non-executable page
+        faults.  The window is truncated (never faults) when its tail runs
+        into unmapped or non-executable memory, mirroring how a hardware
+        fetch of a shorter instruction would simply never touch the next
+        page.
+        """
+        out = b""
+        cursor = addr
+        remaining = size
+        while remaining > 0:
+            page = self._pages.get(cursor >> PAGE_SHIFT)
+            if page is None or not page.flags & PageFlags.EXECUTABLE:
+                if cursor == addr:
+                    reason = (
+                        "instruction fetch from unmapped page"
+                        if page is None
+                        else "instruction fetch from non-executable page"
+                    )
+                    raise PageFault(addr, reason)
+                break
+            offset = cursor & _OFFSET_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            piece = bytes(page.data[offset : offset + chunk])
+            out = piece if cursor == addr else out + piece
+            cursor += chunk
+            remaining -= chunk
+        return out
 
     def write(self, addr: int, data: bytes) -> None:
         remaining = memoryview(data)
@@ -112,27 +200,66 @@ class PagedMemory:
                 raise PageFault(cursor, "write to unmapped page")
             if self.wp_enabled and not page.flags & PageFlags.WRITABLE:
                 raise PageFault(cursor, "write to read-only page")
-            offset = cursor & (PAGE_SIZE - 1)
+            offset = cursor & _OFFSET_MASK
             chunk = min(len(remaining), PAGE_SIZE - offset)
             page.data[offset : offset + chunk] = remaining[:chunk]
+            page.generation += 1
             if not page.flags & PageFlags.WRITABLE:
                 # Supervisor write with WP disabled: hardware still records
                 # the store in the dirty bit (§4.4).
                 page.flags |= PageFlags.DIRTY
+            # Notify per chunk, not after the loop: a spanning write that
+            # faults on a later page must still invalidate what it wrote.
+            if self._write_observers:
+                self._notify(cursor, chunk)
             cursor += chunk
             remaining = remaining[chunk:]
 
+    def _write_single(self, addr: int, page: _Page, data: bytes) -> None:
+        """Store ``data`` entirely inside ``page`` (permissions pre-checked)."""
+        offset = addr & _OFFSET_MASK
+        page.data[offset : offset + len(data)] = data
+        page.generation += 1
+        if not page.flags & PageFlags.WRITABLE:
+            page.flags |= PageFlags.DIRTY
+        if self._write_observers:
+            self._notify(addr, len(data))
+
     def read_u64(self, addr: int) -> int:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        offset = addr & _OFFSET_MASK
+        if page is not None and offset <= PAGE_SIZE - 8:
+            return int.from_bytes(page.data[offset : offset + 8], "little")
         return int.from_bytes(self.read(addr, 8), "little")
 
     def write_u64(self, addr: int, value: int) -> None:
-        self.write(addr, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if (
+            page is not None
+            and (addr & _OFFSET_MASK) <= PAGE_SIZE - 8
+            and (page.flags & PageFlags.WRITABLE or not self.wp_enabled)
+        ):
+            self._write_single(addr, page, (value & _MASK64).to_bytes(8, "little"))
+            return
+        self.write(addr, (value & _MASK64).to_bytes(8, "little"))
 
     def read_u32(self, addr: int) -> int:
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        offset = addr & _OFFSET_MASK
+        if page is not None and offset <= PAGE_SIZE - 4:
+            return int.from_bytes(page.data[offset : offset + 4], "little")
         return int.from_bytes(self.read(addr, 4), "little")
 
     def write_u32(self, addr: int, value: int) -> None:
-        self.write(addr, (value & ((1 << 32) - 1)).to_bytes(4, "little"))
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if (
+            page is not None
+            and (addr & _OFFSET_MASK) <= PAGE_SIZE - 4
+            and (page.flags & PageFlags.WRITABLE or not self.wp_enabled)
+        ):
+            self._write_single(addr, page, (value & _MASK32).to_bytes(4, "little"))
+            return
+        self.write(addr, (value & _MASK32).to_bytes(4, "little"))
 
     # ------------------------------------------------------------------
     # Atomic compare-exchange (the patcher's only write primitive)

@@ -32,6 +32,17 @@ Mechanical constraints reproduced from the paper:
 * a jump into the last two bytes of a 7-byte patch executes ``0x60 0xff``
   and #UDs; the X-Kernel's fixup handler rewinds RIP to the call (handled
   in :mod:`repro.core.xkernel`, see :meth:`ABOM.looks_like_patched_tail`).
+
+Interplay with the interpreter's decode cache: every patch store goes
+through :meth:`PagedMemory.compare_exchange` → :meth:`PagedMemory.write`,
+which bumps the page's generation counter and fires the write observers
+each vCPU registered.  Any cached basic block decoded from the patched
+page — including a block a racing vCPU is executing *right now* — is
+dropped before its next instruction, so the very next execution of the
+site decodes the rewritten bytes.  This is the software analogue of the
+hardware i-cache coherence the paper's ≤8-byte ``cmpxchg`` argument
+quietly relies on (§4.4); ``docs/interpreter_performance.md`` spells out
+the mapping.
 """
 
 from __future__ import annotations
@@ -193,7 +204,12 @@ class ABOM:
         return True
 
     def _cmpxchg(self, addr: int, expected: bytes, new: bytes) -> bool:
-        """One ≤8-byte compare-exchange with CR0.WP dropped around it."""
+        """One ≤8-byte compare-exchange with CR0.WP dropped around it.
+
+        The store also serves as the decode-cache invalidation point: it
+        bumps the text page's generation and notifies every vCPU's write
+        observer, evicting any basic block decoded from the old bytes.
+        """
         self.irqs_disabled = True
         saved_wp = self.memory.wp_enabled
         self.memory.wp_enabled = False

@@ -47,6 +47,7 @@ class XContainer:
         name: str = "xc0",
         vcpus: int = 1,
         memory_mb: int = 128,
+        icache: bool = True,
     ) -> None:
         self.name = name
         self.vcpus = vcpus
@@ -54,12 +55,16 @@ class XContainer:
         self.costs = costs or CostModel()
         self.clock = clock if clock is not None else SimClock()
         self.memory = PagedMemory()
+        self.icache_enabled = icache
         self.xkernel = XKernel(
             self.memory, self.costs, self.clock, abom_enabled=abom_enabled
         )
         self.libos = XLibOS(self.memory, services, self.costs, self.clock)
         self.cpu = CPU(
-            self.memory, self.clock, instruction_ns=self.costs.instruction_ns
+            self.memory,
+            self.clock,
+            instruction_ns=self.costs.instruction_ns,
+            icache=icache,
         )
         self.cpus: list[CPU] = [self.cpu]
         self.xkernel.attach(self.cpu, self.libos)
@@ -81,7 +86,10 @@ class XContainer:
     def add_vcpu(self) -> CPU:
         """Bring up another vCPU in this container."""
         cpu = CPU(
-            self.memory, self.clock, instruction_ns=self.costs.instruction_ns
+            self.memory,
+            self.clock,
+            instruction_ns=self.costs.instruction_ns,
+            icache=self.icache_enabled,
         )
         self.xkernel.attach(cpu, self.libos)
         self._setup_stack(cpu, index=len(self.cpus))
@@ -241,6 +249,10 @@ class XContainer:
     @property
     def libos_stats(self):
         return self.libos.stats
+
+    def icache_stats(self) -> dict[str, float]:
+        """Decode-cache counters aggregated over this container's vCPUs."""
+        return self.xkernel.icache_summary()
 
     def syscall_reduction(self) -> float:
         """Fraction of syscall invocations served without a kernel crossing.

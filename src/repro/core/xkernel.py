@@ -58,6 +58,8 @@ class XKernel:
         self.clock = clock
         self.abom = ABOM(memory, self.costs, clock, enabled=abom_enabled)
         self.stats = XKernelStats()
+        #: vCPUs attached via :meth:`attach`, for decode-cache reporting.
+        self.cpus: list[CPU] = []
         #: Optional :class:`repro.perf.trace.Tracer`.
         self.tracer = None
         #: The XPTI patch is ported to the X-Kernel (§5.1) but does not
@@ -77,6 +79,25 @@ class XKernel:
 
         cpu.trap_handler = handler
         libos.attach(cpu)
+        self.cpus.append(cpu)
+
+    def icache_summary(self) -> dict[str, float]:
+        """Aggregate decode-cache counters across all attached vCPUs.
+
+        ABOM's patches are stores to live text: every one of them shows up
+        here as invalidations on the vCPUs that had the patched page
+        cached.  The perf layer reports these next to the Table 1 syscall
+        counters.
+        """
+        summary = {"hits": 0, "misses": 0, "invalidations": 0}
+        for cpu in self.cpus:
+            stats = cpu.icache_stats
+            summary["hits"] += stats.hits
+            summary["misses"] += stats.misses
+            summary["invalidations"] += stats.invalidations
+        total = summary["hits"] + summary["misses"]
+        summary["hit_rate"] = summary["hits"] / total if total else 0.0
+        return summary
 
     # ------------------------------------------------------------------
     # Trap handling
@@ -106,7 +127,15 @@ class XKernel:
         libos.forwarded_entry(cpu, trap.rip)
 
     def _handle_ud(self, cpu: CPU, trap: Trap) -> None:
-        """Fix a jump into the last two bytes of a patched call (§4.4)."""
+        """Fix a jump into the last two bytes of a patched call (§4.4).
+
+        With the decode cache enabled this path is reached exactly as on
+        the bare interpreter: the patch store invalidated any cached block
+        covering the site, so the jump into the ``60 ff`` tail misses the
+        cache, re-decodes the freshly patched bytes, and #UDs here.  The
+        rewound RIP then re-enters (or re-fills) the block that starts at
+        the patched call.
+        """
         self.stats.ud_traps += 1
         if self.abom.looks_like_patched_tail(trap.rip):
             self.abom.fixup_rip(cpu, trap.rip)

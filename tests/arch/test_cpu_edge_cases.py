@@ -40,6 +40,66 @@ class TestFetchAcrossPages:
         assert cpu.halted
 
 
+class TestFetchPermissions:
+    """Instruction fetch honours PageFlags.EXECUTABLE (NX)."""
+
+    @pytest.mark.parametrize("icache", [True, False])
+    def test_fetch_from_non_executable_page_faults(self, icache):
+        mem = PagedMemory()
+        base = 0x400000
+        mem.map_region(base, PAGE_SIZE, PageFlags.USER | PageFlags.WRITABLE)
+        mem.write(base, b"\xf4")  # hlt bytes, but the page is data-only
+        cpu = CPU(mem, icache=icache)
+        cpu.regs.rip = base
+        with pytest.raises(Trap) as excinfo:
+            cpu.step()
+        assert excinfo.value.kind is TrapKind.PAGE_FAULT
+        assert "non-executable" in excinfo.value.detail
+
+    def test_data_reads_from_non_executable_page_still_work(self):
+        mem = PagedMemory()
+        mem.map_region(0x9000, PAGE_SIZE, PageFlags.USER | PageFlags.WRITABLE)
+        mem.write_u64(0x9000, 0x1234)
+        assert mem.read_u64(0x9000) == 0x1234
+
+    def test_revoking_executable_stops_cached_code(self):
+        """Dropping EXECUTABLE from already-executed (cached) text must
+        fault the next fetch, not serve stale decodes."""
+        mem = PagedMemory()
+        base = 0x400000
+        asm = Assembler(base=base)
+        asm.label("loop")
+        asm.nop()
+        asm.jmp8("loop")
+        asm.build().load(mem)
+        cpu = CPU(mem)
+        cpu.regs.rip = base
+        for _ in range(8):
+            cpu.step()  # the loop body is now cached
+        mem.set_page_flags(base, PageFlags.USER | PageFlags.WRITABLE)
+        with pytest.raises(Trap) as excinfo:
+            for _ in range(4):
+                cpu.step()
+        assert excinfo.value.kind is TrapKind.PAGE_FAULT
+
+    def test_fetch_window_truncates_at_non_executable_neighbour(self):
+        """Code flush against a data page decodes its final instruction,
+        exactly like code flush against unmapped memory."""
+        mem = PagedMemory()
+        base = 0x400000
+        mem.map_region(base, PAGE_SIZE, PageFlags.USER | PageFlags.EXECUTABLE)
+        mem.map_region(
+            base + PAGE_SIZE, PAGE_SIZE, PageFlags.USER | PageFlags.WRITABLE
+        )
+        mem.wp_enabled = False
+        mem.write(base + PAGE_SIZE - 1, b"\xf4")  # hlt as the last byte
+        mem.wp_enabled = True
+        cpu = CPU(mem)
+        cpu.regs.rip = base + PAGE_SIZE - 1
+        cpu.run()
+        assert cpu.halted
+
+
 class TestStackFaults:
     def test_push_into_unmapped_stack_faults(self):
         from repro.arch.memory import PageFault

@@ -90,6 +90,172 @@ class TestScalarAccess:
         assert mem.read_u64(base + 8) == 123
 
 
+class TestGenerationsAndObservers:
+    """Per-page generation counters + write observers (decode-cache
+    invalidation protocol)."""
+
+    def test_write_bumps_generation(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        before = mem.page_generation(0x1000)
+        mem.write(0x1000, b"x")
+        assert mem.page_generation(0x1000) == before + 1
+
+    def test_read_does_not_bump_generation(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        before = mem.page_generation(0x1000)
+        mem.read(0x1000, 64)
+        mem.read_u64(0x1000)
+        mem.read_u32(0x1040)
+        assert mem.page_generation(0x1000) == before
+
+    def test_scalar_writes_bump_generation(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        before = mem.page_generation(0x1000)
+        mem.write_u64(0x1000, 1)
+        mem.write_u32(0x1010, 2)
+        assert mem.page_generation(0x1000) == before + 2
+
+    def test_compare_exchange_bumps_generation(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        before = mem.page_generation(0x1000)
+        assert mem.compare_exchange(0x1000, bytes(2), b"ab")
+        assert mem.page_generation(0x1000) == before + 1
+
+    def test_failed_compare_exchange_does_not_bump(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        before = mem.page_generation(0x1000)
+        assert not mem.compare_exchange(0x1000, b"zz", b"ab")
+        assert mem.page_generation(0x1000) == before
+
+    def test_spanning_write_bumps_both_pages(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 2 * 4096, RW)
+        first = mem.page_generation(0x1000)
+        second = mem.page_generation(0x2000)
+        mem.write(0x1FFC, b"ABCDEFGH")
+        assert mem.page_generation(0x1000) == first + 1
+        assert mem.page_generation(0x2000) == second + 1
+
+    def test_reflag_bumps_generation(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        before = mem.page_generation(0x1000)
+        mem.set_page_flags(0x1000, RO)
+        mem.map_region(0x1000, 4096, RW)
+        assert mem.page_generation(0x1000) == before + 2
+
+    def test_generation_unmapped_faults(self):
+        with pytest.raises(PageFault):
+            PagedMemory().page_generation(0x5000)
+        assert PagedMemory().page_generation_index(5) == -1
+
+    def test_observer_sees_every_store(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 2 * 4096, RW)
+        events = []
+        mem.add_write_observer(lambda addr, size: events.append((addr, size)))
+        mem.write(0x1000, b"abc")
+        mem.write_u64(0x1100, 7)
+        mem.write_u32(0x1200, 7)
+        assert (0x1000, 3) in events
+        assert (0x1100, 8) in events
+        assert (0x1200, 4) in events
+
+    def test_observer_notified_per_page_chunk(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 2 * 4096, RW)
+        events = []
+        mem.add_write_observer(lambda addr, size: events.append((addr, size)))
+        mem.write(0x1FFE, b"ABCD")  # 2 bytes in each page
+        assert events == [(0x1FFE, 2), (0x2000, 2)]
+
+    def test_observer_removal(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        events = []
+        observer = lambda addr, size: events.append(addr)  # noqa: E731
+        mem.add_write_observer(observer)
+        mem.write(0x1000, b"x")
+        mem.remove_write_observer(observer)
+        mem.write(0x1001, b"y")
+        assert events == [0x1000]
+
+
+class TestScalarFastPathEdges:
+    """The single-page fast paths must agree with the generic loop."""
+
+    def test_u64_across_page_boundary(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 2 * 4096, RW)
+        mem.write_u64(0x1FFC, 0x1122334455667788)
+        assert mem.read_u64(0x1FFC) == 0x1122334455667788
+
+    def test_u32_across_page_boundary(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 2 * 4096, RW)
+        mem.write_u32(0x1FFE, 0xDEADBEEF)
+        assert mem.read_u32(0x1FFE) == 0xDEADBEEF
+
+    def test_u64_fast_path_respects_write_protect(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RO)
+        with pytest.raises(PageFault):
+            mem.write_u64(0x1000, 1)
+        with pytest.raises(PageFault):
+            mem.write_u32(0x1000, 1)
+
+    def test_u64_fast_path_wp_bypass_sets_dirty(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RO)
+        mem.wp_enabled = False
+        mem.write_u64(0x1000, 42)
+        mem.wp_enabled = True
+        assert mem.read_u64(0x1000) == 42
+        assert mem.page_flags(0x1000) & PageFlags.DIRTY
+
+    def test_u64_unmapped_faults(self):
+        with pytest.raises(PageFault):
+            PagedMemory().read_u64(0x1000)
+        with pytest.raises(PageFault):
+            PagedMemory().write_u64(0x1000, 1)
+
+
+class TestFetch:
+    def test_fetch_requires_executable(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, RW)
+        with pytest.raises(PageFault) as excinfo:
+            mem.fetch(0x1000, 15)
+        assert "non-executable" in excinfo.value.reason
+
+    def test_fetch_unmapped_faults(self):
+        with pytest.raises(PageFault) as excinfo:
+            PagedMemory().fetch(0x1000, 15)
+        assert "unmapped" in excinfo.value.reason
+
+    def test_fetch_truncates_at_non_executable_tail(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 4096, PageFlags.USER | PageFlags.EXECUTABLE)
+        mem.map_region(0x2000, 4096, RW)
+        mem.wp_enabled = False
+        mem.write(0x1FF0, b"\x90" * 16)
+        mem.wp_enabled = True
+        assert mem.fetch(0x1FF8, 15) == b"\x90" * 8
+
+    def test_fetch_spans_executable_pages(self):
+        mem = PagedMemory()
+        mem.map_region(0x1000, 2 * 4096, PageFlags.USER | PageFlags.EXECUTABLE)
+        mem.wp_enabled = False
+        mem.write(0x1FFC, bytes(range(8)))
+        mem.wp_enabled = True
+        assert mem.fetch(0x1FFC, 8) == bytes(range(8))
+
+
 class TestCompareExchange:
     def _mem(self):
         mem = PagedMemory()
