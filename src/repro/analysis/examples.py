@@ -1,0 +1,157 @@
+"""Example binaries for the ``repro analyze`` subcommand and CI gate.
+
+Each builder returns a small, self-contained program exercising one
+corner of the §4.4 safety argument.  ``safe=True`` examples are the CI
+gate: ``repro analyze`` (no arguments) must find nothing unsafe in any
+of them.  The unsafe ones demonstrate the analyzer *refuting* patch
+safety and are only analyzed when named explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.assembler import Assembler
+from repro.arch.binary import Binary
+from repro.arch.encoding import enc_jmp_rel32
+from repro.arch.registers import Reg
+
+
+@dataclass(frozen=True)
+class Example:
+    name: str
+    description: str
+    build: Callable[[], Binary]
+    #: Safe examples are the default (CI-gating) set.
+    safe: bool = True
+    #: Whether the binary can run to completion for the differential.
+    runnable: bool = True
+
+
+def _figure2() -> Binary:
+    """Every Figure-2 / Table-1 site shape, each executed once."""
+    asm = Assembler(base=0x400000)
+    asm.entry()
+    asm.syscall_site(0, style="mov_eax", symbol="__read")
+    asm.syscall_site(15, style="mov_rax", symbol="__restore_rt")
+    asm.mov_imm64_low(Reg.RCX, 1)
+    asm.store_rsp64(8, Reg.RCX)
+    asm.syscall_site(1, style="go_stack", symbol="go_syscall")
+    asm.syscall_site(3, style="cancellable", symbol="pthread_close")
+    # %rax zeroed by an ALU op, not a mov: a genuinely bare site.
+    asm.xor(Reg.RAX, Reg.RAX)
+    asm.syscall_site(0, style="bare", symbol="bare_read")
+    asm.hlt()
+    return asm.build("figure2")
+
+
+def _patched_loop() -> Binary:
+    """The abom-demo shape: two sites re-executed inside a loop."""
+    asm = Assembler(base=0x400000)
+    asm.entry()
+    asm.mov_imm32(Reg.RBX, 3)
+    asm.label("loop")
+    asm.syscall_site(0, style="mov_eax", symbol="__read")
+    asm.syscall_site(15, style="mov_rax", symbol="__restore_rt")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build("patched_loop")
+
+
+def _tail_jump() -> Binary:
+    """Jumps to the *old syscall address* of a patched site (§4.4).
+
+    Statically this is the one interior target the #UD fixup makes
+    legal; the analyzer must report it as safe-with-fixup, not unsafe.
+    """
+    asm = Assembler(base=0x400000)
+    asm.entry()
+    asm.mov_imm32(Reg.RBX, 2)
+    asm.label("loop")
+    site = asm.syscall_site(0, style="mov_eax", symbol="__read")
+    asm.dec(Reg.RBX)
+    asm.je("done")
+    # Re-enter at the old syscall address, skipping the mov: after the
+    # 7-byte patch this lands on the 0x60 0xff tail and #UDs.
+    asm.raw(enc_jmp_rel32(site.syscall_addr - (asm.here + 5)))
+    asm.label("done")
+    asm.hlt()
+    return asm.build("tail_jump")
+
+
+def _interior_jump() -> Binary:
+    """Jumps into the immediate of the ``mov`` — genuinely unsafe.
+
+    The target is byte 2 of the 7-byte window; after patching it would
+    land mid-``call`` with no fixup.  The jump is dynamically dead (the
+    guard branch always skips it) so the program still runs, but the
+    static analyzer must refuse to certify the binary.
+    """
+    asm = Assembler(base=0x400000)
+    asm.entry()
+    asm.xor(Reg.RBX, Reg.RBX)
+    asm.cmp(Reg.RBX, 0)
+    asm.je("site")
+    asm.label("bad_jump")
+    # mov starts at syscall_addr - 5; target its imm32 at offset +2.
+    # The site below is emitted right after this 5-byte jmp.
+    asm.raw(enc_jmp_rel32((asm.here + 5 + 2) - (asm.here + 5)))
+    asm.label("site")
+    asm.syscall_site(0, style="mov_eax", symbol="__read")
+    asm.hlt()
+    return asm.build("interior_jump")
+
+
+def _data_in_text() -> Binary:
+    """Embedded data after unconditional control flow.
+
+    Recursive descent must not decode the data; the linear disassembler
+    must render it as ``.byte`` lines and resync.
+    """
+    asm = Assembler(base=0x400000)
+    asm.entry()
+    asm.syscall_site(0, style="mov_eax", symbol="__read")
+    asm.jmp("over")
+    asm.raw(b"\x60\x61\x06\x07")  # data: invalid in 64-bit mode
+    asm.label("over")
+    asm.hlt()
+    return asm.build("data_in_text")
+
+
+EXAMPLES: dict[str, Example] = {
+    example.name: example
+    for example in (
+        Example(
+            "figure2",
+            "all Figure-2 / Table-1 site shapes, executed once each",
+            _figure2,
+        ),
+        Example(
+            "patched_loop",
+            "the abom-demo loop: 7-byte and 9-byte sites re-executed",
+            _patched_loop,
+        ),
+        Example(
+            "tail_jump",
+            "jump to the old syscall address (#UD-fixup case, §4.4)",
+            _tail_jump,
+        ),
+        Example(
+            "data_in_text",
+            "data bytes embedded in the text segment",
+            _data_in_text,
+        ),
+        Example(
+            "interior_jump",
+            "jump into a patch window's interior — statically unsafe",
+            _interior_jump,
+            safe=False,
+        ),
+    )
+}
+
+
+def safe_examples() -> list[Example]:
+    return [example for example in EXAMPLES.values() if example.safe]

@@ -1,0 +1,137 @@
+"""Whole-binary analysis: CFG + sites + safety + differential, rendered.
+
+This is the entry point the CLI (and CI) consume: one call produces an
+:class:`AnalysisReport` whose :attr:`~AnalysisReport.has_unsafe` drives
+the process exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import CFG, recover_binary_cfg
+from repro.analysis.differential import DifferentialResult, run_differential
+from repro.analysis.safety import Finding, Severity, verify_sites
+from repro.analysis.sites import DiscoveredSite, discover_sites
+from repro.arch.binary import Binary
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the static analyzer concluded about one binary."""
+
+    binary_name: str
+    cfg: CFG
+    sites: list[DiscoveredSite]
+    findings: list[Finding]
+    differential: DifferentialResult | None
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def has_unsafe(self) -> bool:
+        """True when CI must fail: a safety ERROR or a differential
+        mismatch between the static model and online ABOM."""
+        if self.errors:
+            return True
+        return self.differential is not None and not self.differential.ok
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [
+            f"=== {self.binary_name} ===",
+            f"cfg: {len(self.cfg.blocks)} blocks, "
+            f"{len(self.cfg.edges)} edges, "
+            f"{len(self.cfg.instructions)} instructions, "
+            f"{len(self.cfg.invalid_addrs)} undecodable byte(s)",
+            "",
+            f"{'site':>10s}  {'pattern':12s} {'nr':>5s}  "
+            f"{'online':7s} {'verdict'}",
+        ]
+        by_site: dict[int, list[Finding]] = {}
+        for finding in self.findings:
+            by_site.setdefault(finding.site, []).append(finding)
+        for site in self.sites:
+            verdict = self._verdict(by_site.get(site.syscall_addr, []))
+            nr = "-" if site.nr is None else str(site.nr)
+            patchable = "yes" if site.abom_patchable else "no"
+            lines.append(
+                f"{site.syscall_addr:#10x}  {site.pattern.value:12s} "
+                f"{nr:>5s}  {patchable:7s} {verdict}"
+            )
+        if self.findings:
+            lines.append("")
+            lines.append("findings:")
+            lines.extend(f"  {f.render()}" for f in self.findings)
+        if self.differential is not None:
+            lines.append("")
+            lines.extend(self._render_differential(self.differential))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _verdict(findings: list[Finding]) -> str:
+        if any(f.severity is Severity.ERROR for f in findings):
+            return "UNSAFE"
+        if any(f.kind == "ud-fixup-tail" for f in findings):
+            return "SAFE (needs #UD fixup)"
+        if any(f.severity is Severity.WARNING for f in findings):
+            return "SAFE (with warnings)"
+        return "SAFE"
+
+    @staticmethod
+    def _render_differential(diff: DifferentialResult) -> list[str]:
+        executed = sum(1 for o in diff.outcomes if o.executed)
+        lines = [
+            f"differential vs online ABOM: {len(diff.outcomes)} sites, "
+            f"{executed} exercised, "
+            f"{len(diff.decision_mismatches)} decision mismatch(es), "
+            f"{len(diff.byte_mismatches)} byte mismatch region(s)",
+        ]
+        for outcome in diff.decision_mismatches:
+            lines.append(
+                f"  MISMATCH {outcome.addr:#x} ({outcome.pattern}): "
+                f"static predicted patch={outcome.predicted_patch}, "
+                f"ABOM patched={outcome.abom_patched}"
+            )
+        for miss in diff.byte_mismatches:
+            lines.append(
+                f"  BYTES    {miss.addr:#x}: expected "
+                f"{miss.expected.hex(' ')} got {miss.actual.hex(' ')}"
+            )
+        for addr in diff.unpredicted_patches:
+            lines.append(
+                f"  MISMATCH {addr:#x}: ABOM patched a site static "
+                "discovery never found"
+            )
+        for outcome in diff.unexercised:
+            lines.append(
+                f"  note     {outcome.addr:#x} ({outcome.pattern}) was "
+                "never executed; online ABOM could not see it"
+            )
+        if diff.ok:
+            lines.append("  static model and online ABOM agree")
+        return lines
+
+
+def analyze(binary: Binary, differential: bool = True) -> AnalysisReport:
+    """Run the full static pipeline over ``binary``.
+
+    ``differential=True`` additionally executes the binary under online
+    ABOM and diffs the outcomes; leave it off for binaries that cannot
+    run to completion on the counting backend.
+    """
+    cfg = recover_binary_cfg(binary)
+    sites = discover_sites(cfg, binary.code, binary.base)
+    findings = verify_sites(cfg, sites)
+    diff = run_differential(binary, sites) if differential else None
+    return AnalysisReport(
+        binary_name=binary.name,
+        cfg=cfg,
+        sites=sites,
+        findings=findings,
+        differential=diff,
+    )

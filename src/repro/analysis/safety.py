@@ -1,0 +1,270 @@
+"""Patch-safety verification — the §4.4 argument, checked per site.
+
+The paper argues ABOM's in-place rewrites are safe because
+
+1. nothing jumps into the *interior* of a patched window — except jumps
+   to the old ``syscall`` address, which land on the ``0x60 0xff`` tail
+   of the 7-byte call, raise #UD, and are rewound by the X-Kernel's
+   fixup handler;
+2. both intermediate states of the two-phase 9-byte rewrite are
+   semantically equivalent to the original (phase 1: ``call; syscall``
+   double-dispatch prevented by the LibOS return-address check;
+   phase 2: the trailing ``jmp -9`` re-enters the call).
+
+This module turns both claims into checked invariants over the
+recovered CFG and emits structured :class:`Finding` records.  An
+:data:`~Severity.ERROR` finding means the static analysis *refutes*
+patch safety for that binary; the CLI (and CI) gate on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.cfg import CFG
+from repro.analysis.sites import DiscoveredSite
+from repro.arch.binary import SitePattern
+from repro.arch.encoding import InvalidOpcode, decode, enc_jmp_rel8
+from repro.core import vsyscall
+
+_SYSCALL = b"\x0f\x05"
+_JMP_BACK = enc_jmp_rel8(-9)
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verdict about one site (or about the binary as a whole)."""
+
+    severity: Severity
+    kind: str
+    site: int
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.severity.name:7s} {self.kind:24s} "
+            f"site={self.site:#x}  {self.message}"
+        )
+
+
+def verify_sites(
+    cfg: CFG, sites: list[DiscoveredSite]
+) -> list[Finding]:
+    """Run the §4.4 safety checks for every discovered site."""
+    findings: list[Finding] = []
+    targets = cfg.landing_targets()
+    for site in sites:
+        if site.abom_patchable:
+            findings.extend(_verify_online(site, targets))
+        elif site.pattern is SitePattern.CANCELLABLE:
+            findings.extend(_verify_offline_region(site, targets))
+        elif site.pattern is SitePattern.BARE:
+            findings.append(
+                Finding(
+                    Severity.INFO,
+                    "unpatchable-site",
+                    site.syscall_addr,
+                    "bare syscall (%rax loaded far away); always forwarded",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "out-of-range-number",
+                    site.syscall_addr,
+                    f"{site.pattern.value} shape but the operand is outside "
+                    "the vsyscall table; ABOM will leave it unpatched",
+                )
+            )
+    if cfg.invalid_addrs:
+        sample = ", ".join(
+            hex(a) for a in sorted(cfg.invalid_addrs)[:4]
+        )
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "undecodable-bytes",
+                min(cfg.invalid_addrs),
+                f"{len(cfg.invalid_addrs)} undecodable byte(s) reachable "
+                f"from text ({sample}); control flow beyond them is unknown",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Online (ABOM) windows
+# ----------------------------------------------------------------------
+def _verify_online(
+    site: DiscoveredSite, targets: set[int]
+) -> list[Finding]:
+    assert site.window is not None and site.predicted_bytes is not None
+    start, length = site.window
+    syscall_addr = site.syscall_addr
+    findings: list[Finding] = []
+    interior = [t for t in targets if start < t < start + length]
+    for t in interior:
+        if t == syscall_addr:
+            findings.extend(_verify_tail_jump(site, t))
+        else:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "interior-target",
+                    syscall_addr,
+                    f"CFG edge targets {t:#x}, byte {t - start} of the "
+                    f"{length}-byte patch window [{start:#x}, "
+                    f"{start + length:#x}); patching would make that jump "
+                    "land mid-instruction with no fixup",
+                )
+            )
+    if site.pattern is SitePattern.MOV_RAX_IMM:
+        findings.extend(_verify_9byte_phases(site))
+    return findings
+
+
+def _verify_tail_jump(site: DiscoveredSite, t: int) -> list[Finding]:
+    """A jump to the old ``syscall`` address: §4.4's special case."""
+    assert site.window is not None and site.predicted_bytes is not None
+    start, _ = site.window
+    offset = t - start
+    tail = site.predicted_bytes[offset : offset + 2]
+    if site.pattern is SitePattern.MOV_RAX_IMM:
+        # Final state puts ``jmp -9`` exactly where the syscall was, so
+        # the jump re-enters the call; no #UD needed.
+        if tail != _JMP_BACK:
+            return [
+                Finding(
+                    Severity.ERROR,
+                    "nine-byte-tail",
+                    site.syscall_addr,
+                    f"jump to the old syscall at {t:#x} would execute "
+                    f"{tail.hex(' ')} instead of the expected jmp -9",
+                )
+            ]
+        return [
+            Finding(
+                Severity.INFO,
+                "nine-byte-tail",
+                site.syscall_addr,
+                f"jump targets the old syscall at {t:#x}; the phase-2 "
+                "jmp -9 re-enters the patched call",
+            )
+        ]
+    # 7-byte patterns: the tail must be the ``0x60 0xff`` #UD bait the
+    # X-Kernel's fixup handler recognizes.
+    if tail != b"\x60\xff":
+        return [
+            Finding(
+                Severity.ERROR,
+                "ud-fixup-tail",
+                site.syscall_addr,
+                f"jump to the old syscall at {t:#x} lands on "
+                f"{tail.hex(' ')}, which the #UD fixup does not recognize",
+            )
+        ]
+    return [
+        Finding(
+            Severity.INFO,
+            "ud-fixup-tail",
+            site.syscall_addr,
+            f"jump targets the old syscall at {t:#x}; relies on the "
+            "0x60 0xff #UD fixup in the X-Kernel",
+        )
+    ]
+
+
+def _verify_9byte_phases(site: DiscoveredSite) -> list[Finding]:
+    """Check both intermediate states of the two-phase rewrite.
+
+    Phase 1 (call written over the mov, syscall still in place) and
+    phase 2 (syscall overwritten with ``jmp -9``) must each decode to a
+    sequence equivalent to the original site.
+    """
+    assert site.nr is not None and site.window is not None
+    assert site.predicted_bytes is not None
+    start, _ = site.window
+    findings: list[Finding] = []
+    call = site.predicted_bytes[:7]
+    phase1 = call + _SYSCALL
+    phase2 = call + _JMP_BACK
+    for label, buf in (("phase-1", phase1), ("phase-2", phase2)):
+        try:
+            head = decode(buf, 0)
+            tail = decode(buf, head.length)
+        except InvalidOpcode as exc:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "phase-equivalence",
+                    site.syscall_addr,
+                    f"{label} intermediate state does not decode: {exc}",
+                )
+            )
+            continue
+        ok = (
+            head.mnemonic == "call_abs_ind"
+            and head.operands[0] == vsyscall.slot_addr(site.nr)
+        )
+        if label == "phase-1":
+            # The dangling syscall double-dispatches unless the LibOS
+            # return-address check suppresses it — which requires the
+            # syscall to sit exactly at the call's return address.
+            ok = ok and tail.mnemonic == "syscall" and head.length == 7
+        else:
+            # The jmp must re-enter the call at the window start.
+            resume = start + head.length + tail.length + tail.operands[0]
+            ok = ok and tail.mnemonic == "jmp_rel8" and resume == start
+        if not ok:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "phase-equivalence",
+                    site.syscall_addr,
+                    f"{label} intermediate state is not semantically "
+                    f"equivalent to the original site "
+                    f"({head.mnemonic}; {tail.mnemonic})",
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Offline (cancellable wrapper) regions
+# ----------------------------------------------------------------------
+def _verify_offline_region(
+    site: DiscoveredSite, targets: set[int]
+) -> list[Finding]:
+    assert site.region_start is not None
+    region_start = site.region_start
+    region_end = site.syscall_addr + 2
+    interior = [t for t in targets if region_start < t < region_end]
+    if not interior:
+        return [
+            Finding(
+                Severity.INFO,
+                "offline-patchable",
+                site.syscall_addr,
+                f"cancellable wrapper [{region_start:#x}, {region_end:#x}) "
+                "is safe for the offline tool (no interior targets)",
+            )
+        ]
+    listed = ", ".join(hex(t) for t in sorted(interior))
+    return [
+        Finding(
+            Severity.WARNING,
+            "offline-interior-target",
+            site.syscall_addr,
+            f"cancellable wrapper [{region_start:#x}, {region_end:#x}) has "
+            f"interior CFG targets ({listed}); in-place offline patching "
+            "would break those paths — leave to ABOM forwarding",
+        )
+    ]

@@ -69,12 +69,37 @@ class Binary:
     symbols: dict[str, int] = field(default_factory=dict)
     name: str = "a.out"
 
+    def validate_sites(self) -> None:
+        """Check that every declared site really is a ``syscall``.
+
+        Site metadata is bookkeeping layered over the raw bytes; nothing
+        in the tool chain stops a hand-written :class:`SyscallSite` (or a
+        drifted test fixture) from pointing somewhere else.  Every
+        declared site must decode to ``0f 05`` at its recorded address.
+        """
+        for site in self.sites:
+            offset = site.syscall_addr - self.base
+            found = self.code[max(offset, 0) : offset + 2]
+            if offset < 0 or found != b"\x0f\x05":
+                label = site.symbol or hex(site.syscall_addr)
+                detail = (
+                    f"found bytes {found.hex(' ')}" if found and offset >= 0
+                    else "address is outside the text segment"
+                )
+                raise ValueError(
+                    f"{self.name}: declared syscall site {label} at "
+                    f"{site.syscall_addr:#x} does not decode to 'syscall' "
+                    f"(expected bytes 0f 05; {detail})"
+                )
+
     def load(self, memory: PagedMemory, writable_text: bool = False) -> None:
         """Map the text segment into ``memory`` at :attr:`base`.
 
         Text is mapped read-only (+USER +EXEC) by default, which is what
-        forces ABOM to drop the write-protect bit to patch it.
+        forces ABOM to drop the write-protect bit to patch it.  Site
+        metadata is validated first (:meth:`validate_sites`).
         """
+        self.validate_sites()
         flags = PageFlags.USER | PageFlags.EXECUTABLE
         if writable_text:
             flags |= PageFlags.WRITABLE

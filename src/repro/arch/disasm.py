@@ -92,7 +92,8 @@ def _render(instr: Instruction, addr: int) -> str:
 
 def disassemble(data: bytes, base: int = 0) -> list[DisasmLine]:
     """Disassemble ``data`` linearly; undecodable bytes become one-byte
-    ``(bad)`` lines (e.g. the ``0x60`` tail of a patched call)."""
+    ``.byte 0x..`` lines, resyncing at the next decodable offset (e.g. the
+    ``0x60`` tail of a patched call, or data embedded in text)."""
     lines = []
     cursor = 0
     while cursor < len(data):
@@ -101,7 +102,11 @@ def disassemble(data: bytes, base: int = 0) -> list[DisasmLine]:
             instr = decode(data, cursor)
         except InvalidOpcode:
             lines.append(
-                DisasmLine(addr, data[cursor : cursor + 1], "(bad)")
+                DisasmLine(
+                    addr,
+                    data[cursor : cursor + 1],
+                    f".byte {data[cursor]:#04x}",
+                )
             )
             cursor += 1
             continue

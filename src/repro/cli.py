@@ -6,6 +6,7 @@
     repro platforms              # list runtime models + key costs
     repro tcb                    # §3.4 isolation TCB comparison
     repro abom-demo              # patch a binary live, show the bytes
+    repro analyze [example]      # static §4.4 patch-safety analysis
 
 (also reachable as ``python -m repro``)
 """
@@ -89,6 +90,50 @@ def cmd_abom_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Static CFG/site/safety analysis + ABOM differential (§4.4).
+
+    Without a target, analyzes every *safe* example binary — the CI
+    gate — and exits nonzero if any unsafe finding or differential
+    mismatch shows up.  Naming an example analyzes just that one
+    (including the deliberately unsafe demonstrations).
+    """
+    from repro.analysis.examples import EXAMPLES, safe_examples
+    from repro.analysis.report import analyze
+
+    if args.list:
+        for example in EXAMPLES.values():
+            marker = "" if example.safe else "  [unsafe demo]"
+            print(f"{example.name:16s} {example.description}{marker}")
+        return 0
+    if args.target is None:
+        selected = safe_examples()
+    elif args.target in EXAMPLES:
+        selected = [EXAMPLES[args.target]]
+    else:
+        known = ", ".join(EXAMPLES)
+        raise SystemExit(
+            f"unknown example {args.target!r} (known: {known})"
+        )
+    unsafe = 0
+    for example in selected:
+        binary = example.build()
+        report = analyze(
+            binary,
+            differential=example.runnable and not args.no_differential,
+        )
+        print(report.render())
+        print()
+        if report.has_unsafe:
+            unsafe += 1
+    total = len(selected)
+    print(
+        f"analyzed {total} binar{'y' if total == 1 else 'ies'}: "
+        f"{total - unsafe} safe, {unsafe} unsafe"
+    )
+    return 1 if unsafe else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -111,6 +156,22 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("abom-demo", help="live binary-patching demo")
     demo.add_argument("--iterations", type=int, default=3)
     demo.set_defaults(func=cmd_abom_demo)
+
+    analyze = sub.add_parser(
+        "analyze", help="static §4.4 patch-safety analysis + ABOM diff"
+    )
+    analyze.add_argument(
+        "target", nargs="?", default=None,
+        help="example binary to analyze (default: all safe examples)",
+    )
+    analyze.add_argument(
+        "--list", action="store_true", help="list example binaries"
+    )
+    analyze.add_argument(
+        "--no-differential", action="store_true",
+        help="skip executing the binary under online ABOM",
+    )
+    analyze.set_defaults(func=cmd_analyze)
 
     return parser
 

@@ -1,0 +1,125 @@
+"""Static predictions vs. online ABOM, diffed."""
+
+import dataclasses
+
+from repro.analysis.differential import run_differential
+from repro.analysis.examples import EXAMPLES
+from repro.analysis.sites import discover_binary_sites
+from repro.arch import Assembler, Reg
+from repro.core import CountingServices, XContainer
+from repro.core.offline import OfflinePatcher
+
+
+class TestDecisionDiff:
+    def test_figure2_zero_mismatches(self):
+        """Every Figure-2 shape: static and ABOM must agree exactly."""
+        result = run_differential(EXAMPLES["figure2"].build())
+        assert result.ok
+        assert result.decision_mismatches == []
+        assert result.byte_mismatches == []
+        assert result.unpredicted_patches == []
+        # All five sites trapped at least once; three were patchable.
+        assert result.traps == 5
+        patched = [o for o in result.outcomes if o.abom_patched]
+        assert {o.pattern for o in patched} == {
+            "mov_eax_imm", "mov_rax_imm", "go_stack",
+        }
+
+    def test_all_safe_examples_agree(self):
+        for example in EXAMPLES.values():
+            if not (example.safe and example.runnable):
+                continue
+            result = run_differential(example.build())
+            assert result.ok, example.name
+
+    def test_unexercised_site_matches_vacuously(self):
+        # The site sits on the never-taken fall-through of a branch:
+        # statically discovered, never trapped, never patched.
+        asm = Assembler(base=0x400000)
+        asm.entry()
+        asm.xor(Reg.RBX, Reg.RBX)
+        asm.cmp(Reg.RBX, 0)
+        asm.je("skip")
+        asm.syscall_site(0, style="mov_eax", symbol="cold")
+        asm.label("skip")
+        asm.hlt()
+        result = run_differential(asm.build())
+        assert result.ok
+        assert result.traps == 0
+        (outcome,) = result.outcomes
+        assert not outcome.executed
+        assert outcome.predicted_patch and not outcome.abom_patched
+        assert result.unexercised == [outcome]
+
+
+class TestByteDiff:
+    def test_patched_loop_bytes_converge(self):
+        result = run_differential(EXAMPLES["patched_loop"].build())
+        assert result.ok
+        assert result.byte_mismatches == []
+
+    def test_wrong_prediction_is_caught(self):
+        binary = EXAMPLES["patched_loop"].build()
+        sites = discover_binary_sites(binary)
+        doctored = [
+            dataclasses.replace(
+                site, predicted_bytes=b"\x90" * len(site.predicted_bytes)
+            )
+            if site.pattern.value == "mov_eax_imm"
+            else site
+            for site in sites
+        ]
+        result = run_differential(binary, sites=doctored)
+        assert not result.ok
+        assert result.byte_mismatches
+
+    def test_wrong_decision_is_caught(self):
+        binary = EXAMPLES["patched_loop"].build()
+        sites = discover_binary_sites(binary)
+        doctored = [
+            dataclasses.replace(site, abom_patchable=False)
+            if site.pattern.value == "mov_eax_imm"
+            else site
+            for site in sites
+        ]
+        result = run_differential(binary, sites=doctored)
+        assert not result.ok
+        assert result.decision_mismatches
+
+
+class TestOfflineConvergence:
+    def test_patch_discovered_matches_symbol_list_patching(self):
+        """Discovered-site patching == the paper's symbol-list workflow."""
+        def build():
+            asm = Assembler(base=0x400000)
+            asm.entry()
+            asm.mov_imm32(Reg.RBX, 4)
+            asm.label("loop")
+            asm.syscall_site(
+                3, style="cancellable", cancel_gap=4, symbol="pthread_close"
+            )
+            asm.dec(Reg.RBX)
+            asm.jne("loop")
+            asm.hlt()
+            return asm.build("wrapped")
+
+        by_symbols = XContainer(CountingServices())
+        binary = build()
+        by_symbols.load(binary)
+        OfflinePatcher(by_symbols.memory).patch_sites(binary, binary.sites)
+
+        by_discovery = XContainer(CountingServices())
+        binary2 = build()
+        by_discovery.load(binary2)
+        report = OfflinePatcher(by_discovery.memory).patch_discovered(binary2)
+        assert len(report.patched) == 1
+
+        size = len(binary.code)
+        assert by_symbols.memory.read(binary.base, size) == (
+            by_discovery.memory.read(binary2.base, size)
+        )
+        # And the discovered-site patch behaves: all lightweight.
+        result = by_discovery.run_loaded(binary2.entry)
+        assert result is not None
+        assert by_discovery.libos_stats.forwarded_syscalls == 0
+        assert by_discovery.libos_stats.lightweight_syscalls == 4

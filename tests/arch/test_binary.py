@@ -1,0 +1,53 @@
+"""Binary metadata validation at load time."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import Assembler, Reg
+from repro.arch.binary import SitePattern, SyscallSite
+from repro.core import CountingServices, XContainer
+
+
+def program():
+    asm = Assembler(base=0x400000)
+    asm.entry()
+    asm.syscall_site(0, style="mov_eax", symbol="__read")
+    asm.hlt()
+    return asm.build()
+
+
+class TestValidateSites:
+    def test_well_formed_binary_loads(self):
+        binary = program()
+        xc = XContainer(CountingServices())
+        xc.load(binary)  # no error
+        assert xc.memory.read(binary.sites[0].syscall_addr, 2) == b"\x0f\x05"
+
+    def test_drifted_site_raises_with_found_bytes(self):
+        binary = program()
+        good = binary.sites[0]
+        # Simulate stale metadata: the address drifted by one byte.
+        binary.sites[0] = dataclasses.replace(
+            good, syscall_addr=good.syscall_addr - 1
+        )
+        with pytest.raises(ValueError) as exc:
+            XContainer(CountingServices()).load(binary)
+        message = str(exc.value)
+        assert "does not decode to 'syscall'" in message
+        assert "__read" in message
+        assert "found bytes" in message
+
+    def test_site_outside_text_raises(self):
+        binary = program()
+        binary.sites.append(
+            SyscallSite(binary.base - 0x100, SitePattern.BARE, None, "ghost")
+        )
+        with pytest.raises(ValueError) as exc:
+            XContainer(CountingServices()).load(binary)
+        assert "outside the text segment" in str(exc.value)
+
+    def test_validate_sites_direct_call(self):
+        binary = program()
+        binary.validate_sites()  # idempotent, no side effects
+        binary.validate_sites()

@@ -25,10 +25,32 @@ class TestDisassembler:
         lines = disassemble(asm.build().code, base=0x1000)
         assert "jmp    0x1000" in lines[1].text
 
-    def test_bad_bytes_flagged(self):
+    def test_bad_bytes_rendered_as_byte_directives(self):
         # The tail of a patched call, disassembled from the middle.
         lines = disassemble(b"\x60\xff")
-        assert lines[0].text == "(bad)"
+        assert lines[0].text == ".byte 0x60"
+        assert lines[1].text == ".byte 0xff"
+
+    def test_resyncs_at_next_decodable_offset(self):
+        # Two bytes of embedded data, then a real instruction: the
+        # disassembler must emit one .byte line per junk byte and pick
+        # decoding back up at the nop.
+        lines = disassemble(b"\x60\x61\x90\xc3", base=0x1000)
+        assert [line.text for line in lines] == [
+            ".byte 0x60", ".byte 0x61", "nop", "retq",
+        ]
+        assert [line.addr for line in lines] == [
+            0x1000, 0x1001, 0x1002, 0x1003,
+        ]
+
+    def test_truncated_instruction_does_not_raise(self):
+        # b8 needs 4 more immediate bytes; a truncated buffer must fall
+        # back to .byte lines instead of propagating InvalidOpcode.
+        lines = disassemble(b"\x90\xb8\x01\x02")
+        assert lines[0].text == "nop"
+        assert [line.text for line in lines[1:]] == [
+            ".byte 0xb8", ".byte 0x01", ".byte 0x02",
+        ]
 
     def test_all_subset_instructions_render(self):
         asm = Assembler()
@@ -52,7 +74,7 @@ class TestDisassembler:
         asm.hlt()
         asm.raw(b"\xcc")
         lines = disassemble(asm.build().code)
-        assert all(line.text != "(bad)" for line in lines)
+        assert all(not line.text.startswith(".byte") for line in lines)
         listing = format_listing(lines)
         assert "push   %rbp" in listing
         assert "retq" in listing

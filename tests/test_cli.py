@@ -34,3 +34,41 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestAnalyzeCommand:
+    def test_default_run_is_safe_and_exits_zero(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        # Per-site classification and safety verdicts are reported.
+        assert "mov_eax_imm" in out
+        assert "SAFE" in out
+        assert "static model and online ABOM agree" in out
+        assert "0 unsafe" in out
+
+    def test_unsafe_example_exits_nonzero(self, capsys):
+        assert main(["analyze", "interior_jump"]) == 1
+        out = capsys.readouterr().out
+        assert "UNSAFE" in out
+        assert "interior-target" in out
+        assert "1 unsafe" in out
+
+    def test_tail_jump_reports_fixup_not_unsafe(self, capsys):
+        assert main(["analyze", "tail_jump"]) == 0
+        out = capsys.readouterr().out
+        assert "needs #UD fixup" in out
+
+    def test_no_differential_flag(self, capsys):
+        assert main(["analyze", "figure2", "--no-differential"]) == 0
+        out = capsys.readouterr().out
+        assert "differential" not in out
+
+    def test_list_examples(self, capsys):
+        assert main(["analyze", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out
+        assert "[unsafe demo]" in out
+
+    def test_unknown_example_errors(self):
+        with pytest.raises(SystemExit, match="unknown example"):
+            main(["analyze", "nonesuch"])
