@@ -7,6 +7,7 @@
     repro tcb                    # §3.4 isolation TCB comparison
     repro abom-demo              # patch a binary live, show the bytes
     repro analyze [example]      # static §4.4 patch-safety analysis
+    repro chaos [scenario]       # deterministic fault-injection scenarios
 
 (also reachable as ``python -m repro``)
 """
@@ -134,6 +135,37 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if unsafe else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos scenario catalog under a deterministic seed.
+
+    Same seed + same plan ⇒ byte-identical report; exits nonzero when
+    any scenario fails to recover (or, when running the whole catalog,
+    when the run misses a core substrate).
+    """
+    from repro.faults import scenarios
+    from repro.faults.report import run_scenarios
+
+    if args.list:
+        for scenario in scenarios.SCENARIOS.values():
+            print(f"{scenario.name:28s} {scenario.description}")
+        return 0
+    names = None
+    if args.scenario is not None:
+        if args.scenario not in scenarios.SCENARIOS:
+            known = ", ".join(scenarios.SCENARIOS)
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r} (known: {known})"
+            )
+        names = [args.scenario]
+    report = run_scenarios(args.seed, names)
+    print(report.render(), end="")
+    if not report.all_recovered:
+        return 1
+    if names is None and not report.core_coverage_ok():
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +204,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip executing the binary under online ABOM",
     )
     analyze.set_defaults(func=cmd_analyze)
+
+    chaos = sub.add_parser(
+        "chaos", help="run deterministic fault-injection scenarios"
+    )
+    chaos.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario to run (default: the whole catalog)",
+    )
+    chaos.add_argument(
+        "--seed", default="0",
+        help="run seed; same seed + same plan replays byte-identically",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list the scenario catalog"
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

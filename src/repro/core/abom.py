@@ -53,6 +53,7 @@ from repro.arch.cpu import CPU
 from repro.arch.encoding import enc_call_abs_ind, enc_jmp_rel8
 from repro.arch.memory import PagedMemory
 from repro.core import vsyscall
+from repro.faults import sites as fault_sites
 from repro.perf.clock import SimClock
 from repro.perf.costs import CostModel
 
@@ -73,6 +74,8 @@ class AbomStats:
     patch_failures: int = 0
     unrecognized_sites: int = 0
     ud_fixups: int = 0
+    #: Injected cmpxchg losses to a (phantom) racing vCPU.
+    cmpxchg_contentions: int = 0
     #: Site addresses already patched (patching is once per site).
     patched_sites: set[int] = field(default_factory=set)
 
@@ -90,17 +93,26 @@ class ABOM:
         costs: CostModel | None = None,
         clock: SimClock | None = None,
         enabled: bool = True,
+        faults=None,
     ) -> None:
         self.memory = memory
         self.costs = costs or CostModel()
         self.clock = clock
         self.enabled = enabled
+        #: Optional :class:`repro.faults.plan.FaultEngine`: ``contend``
+        #: faults at :data:`repro.faults.sites.ABOM_CMPXCHG` make the CAS
+        #: lose, exercising §4.4's retry arguments.
+        self.faults = faults
         self.stats = AbomStats()
         #: Optional :class:`repro.perf.trace.Tracer` receiving patch events.
         self.tracer = None
         #: True while a patch is in flight — models "temporarily disables
         #: interrupts"; tests assert it is never observable from outside.
         self.irqs_disabled = False
+        #: Sites whose patch previously lost a cmpxchg race; used to
+        #: report recovery when the re-trap finally patches them.
+        self._contended_sites: set[int] = set()
+        self._contended = False
 
     # ------------------------------------------------------------------
     # Pattern matching & patching
@@ -118,6 +130,7 @@ class ABOM:
             return False
         if syscall_addr in self.stats.patched_sites:
             return True
+        self._contended = False
         matched = (
             self._try_patch_9byte(syscall_addr)
             or self._try_patch_mov_eax(syscall_addr)
@@ -128,6 +141,20 @@ class ABOM:
             self._charge(self.costs.abom_patch_ns)
             if self.tracer is not None:
                 self.tracer.emit("abom", "patch", site=syscall_addr)
+            if self.faults is not None and (
+                self._contended or syscall_addr in self._contended_sites
+            ):
+                # Either an earlier trap's patch lost the race (and this
+                # re-trap finished it), or a 9-byte phase-2 loss left the
+                # still-correct phase-1 state (§4.4's race argument).
+                self._contended_sites.discard(syscall_addr)
+                self.faults.record_recovered(
+                    fault_sites.ABOM_CMPXCHG, addr=syscall_addr
+                )
+        elif self._contended:
+            # The CAS lost to a racing vCPU — not an unrecognized site;
+            # the next trap on this site retries the patch.
+            self._contended_sites.add(syscall_addr)
         else:
             self.stats.unrecognized_sites += 1
             if self.tracer is not None:
@@ -210,6 +237,17 @@ class ABOM:
         bumps the text page's generation and notifies every vCPU's write
         observer, evicting any basic block decoded from the old bytes.
         """
+        if self.faults is not None:
+            fault = self.faults.fire(fault_sites.ABOM_CMPXCHG, addr=addr)
+            if fault is not None and fault.kind == "contend":
+                # A racing vCPU's store won; our compare sees stale bytes
+                # and fails without writing anything.
+                self.stats.cmpxchg_contentions += 1
+                self._contended = True
+                self.faults.record_retry(
+                    fault_sites.ABOM_CMPXCHG, addr=addr
+                )
+                return False
         self.irqs_disabled = True
         saved_wp = self.memory.wp_enabled
         self.memory.wp_enabled = False

@@ -48,6 +48,7 @@ class XContainer:
         vcpus: int = 1,
         memory_mb: int = 128,
         icache: bool = True,
+        faults=None,
     ) -> None:
         self.name = name
         self.vcpus = vcpus
@@ -56,8 +57,14 @@ class XContainer:
         self.clock = clock if clock is not None else SimClock()
         self.memory = PagedMemory()
         self.icache_enabled = icache
+        #: Optional :class:`repro.faults.plan.FaultEngine` (chaos runs).
+        self.faults = faults
         self.xkernel = XKernel(
-            self.memory, self.costs, self.clock, abom_enabled=abom_enabled
+            self.memory,
+            self.costs,
+            self.clock,
+            abom_enabled=abom_enabled,
+            faults=faults,
         )
         self.libos = XLibOS(self.memory, services, self.costs, self.clock)
         self.cpu = CPU(
@@ -158,10 +165,13 @@ class XContainer:
         )
 
     def attach_tracer(self, tracer) -> None:
-        """Route X-Kernel, ABOM and LibOS events into ``tracer``."""
+        """Route X-Kernel, ABOM, LibOS — and, when a fault engine is
+        attached, fault-injection lifecycle events — into ``tracer``."""
         self.xkernel.tracer = tracer
         self.xkernel.abom.tracer = tracer
         self.libos.tracer = tracer
+        if self.faults is not None:
+            self.faults.tracer = tracer
 
     def step(self, count: int = 1) -> int:
         """Execute up to ``count`` instructions; returns how many ran."""

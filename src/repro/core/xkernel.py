@@ -52,11 +52,16 @@ class XKernel:
         clock: SimClock | None = None,
         abom_enabled: bool = True,
         meltdown_patched: bool = True,
+        faults=None,
     ) -> None:
         self.memory = memory
         self.costs = costs or CostModel()
         self.clock = clock
-        self.abom = ABOM(memory, self.costs, clock, enabled=abom_enabled)
+        #: Optional :class:`repro.faults.plan.FaultEngine`, shared with ABOM.
+        self.faults = faults
+        self.abom = ABOM(
+            memory, self.costs, clock, enabled=abom_enabled, faults=faults
+        )
         self.stats = XKernelStats()
         #: vCPUs attached via :meth:`attach`, for decode-cache reporting.
         self.cpus: list[CPU] = []

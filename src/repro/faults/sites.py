@@ -1,0 +1,151 @@
+"""The fault-injection site catalog.
+
+Every injectable point in the simulator has a stable dotted name
+(``"<package>.<module>.<operation>"``).  Substrates carry an optional
+``faults`` attribute (default ``None``); when it is unset the hook is a
+single attribute test — zero simulated cost and no measurable wall cost
+(see ``benchmarks/test_faults_overhead.py``).  When a
+:class:`repro.faults.plan.FaultEngine` is attached, the substrate calls
+``faults.fire(SITE, ...)`` at the site and interprets the returned
+:class:`~repro.faults.plan.Fault` (or ``None``).
+
+The catalog is the contract between :mod:`repro.faults.plan` (which
+validates specs against it), the substrates (which fire the sites), and
+:mod:`repro.faults.report` (which groups counters by substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Site names (one constant per hook threaded through the substrates)
+# ---------------------------------------------------------------------------
+
+#: Event-channel notification (``EventChannelTable.send``): ``drop`` loses
+#: the notify (the caller must re-kick), ``delay`` charges ``param`` ns.
+EVENT_NOTIFY = "xen.events.notify"
+
+#: Grant map hypercall (``GrantTable.map_grant``): ``fail`` raises a
+#: transient :class:`~repro.xen.grant_table.GrantMapError`.
+GRANT_MAP = "xen.grant_table.map"
+
+#: Grant copy hypercall (``GrantTable.copy_grant``): ``fail`` raises a
+#: transient :class:`~repro.xen.grant_table.GrantCopyError`.
+GRANT_COPY = "xen.grant_table.copy"
+
+#: Netfront/netback ring (``SplitNetDriver.transmit``): ``stall`` charges
+#: an extra ring-service latency (× ``param``, default 1).
+NET_RING = "xen.drivers.ring"
+
+#: Netback process (``SplitNetDriver.transmit``): ``kill`` marks the
+#: backend dead; the frontend must reconnect (re-grant + re-map + re-bind).
+NET_BACKEND = "xen.drivers.backend"
+
+#: Blkback process (``SplitBlockDriver.read``/``write``): ``kill`` fails
+#: the request *before* any sector is touched (no torn writes); ``stall``
+#: charges extra ring latency.
+BLK_BACKEND = "xen.blkdev.backend"
+
+#: ``xl`` domain creation (``Toolstack.create``): ``timeout`` tears the
+#: half-created domain down, charges the wasted wait, and raises
+#: :class:`~repro.xen.toolstack.SpawnTimeout`.
+TOOLSTACK_SPAWN = "xen.toolstack.spawn"
+
+#: One request/response exchange (``NetStack.request_response_cost_ns``):
+#: ``drop`` forces a retransmission (re-fired — a retransmit can drop
+#: again), ``duplicate``/``reorder`` add spurious processing cost.
+NET_PACKET = "guest.netstack.packet"
+
+#: vCPU scheduling (``CreditScheduler.schedule_interval``): ``stall``
+#: parks one runnable vCPU for the interval, ``storm`` multiplies the
+#: switch overhead by ``param`` (default 8).
+VCPU = "xen.scheduler.vcpu"
+
+#: ABOM's ≤8-byte compare-exchange (``ABOM._cmpxchg``): ``contend`` makes
+#: the CAS lose to a phantom racing vCPU, forcing the documented retry
+#: paths (re-trap for 7-byte sites, the phase-1-only state for 9-byte).
+ABOM_CMPXCHG = "core.abom.cmpxchg"
+
+#: Remus backup acknowledgement (``RemusReplicator.run_epoch``): ``fail``
+#: loses the ack — the epoch's output must stay buffered.
+REMUS_ACK = "xen.remus.ack"
+
+#: One pre-copy round (``LiveMigration.run``): ``dirty`` re-dirties
+#: ``param`` extra pages (default 10 % of the domain), ``abort`` aborts
+#: the migration cleanly.
+MIGRATION_ROUND = "xen.migration.round"
+
+
+@dataclass(frozen=True)
+class SiteInfo:
+    """One injectable site: where it lives and which fault kinds apply."""
+
+    name: str
+    substrate: str
+    kinds: tuple[str, ...]
+    description: str
+
+
+SITES: dict[str, SiteInfo] = {
+    info.name: info
+    for info in (
+        SiteInfo(EVENT_NOTIFY, "xen.events", ("drop", "delay"),
+                 "event-channel notify lost or delayed"),
+        SiteInfo(GRANT_MAP, "xen.grant_table", ("fail",),
+                 "transient grant map failure"),
+        SiteInfo(GRANT_COPY, "xen.grant_table", ("fail",),
+                 "transient grant copy failure"),
+        SiteInfo(NET_RING, "xen.drivers", ("stall",),
+                 "netfront ring stall"),
+        SiteInfo(NET_BACKEND, "xen.drivers", ("kill",),
+                 "netback death mid-ring"),
+        SiteInfo(BLK_BACKEND, "xen.blkdev", ("kill", "stall"),
+                 "blkback death or stall mid-ring"),
+        SiteInfo(TOOLSTACK_SPAWN, "xen.toolstack", ("timeout",),
+                 "xl domain creation timeout"),
+        SiteInfo(NET_PACKET, "guest.netstack",
+                 ("drop", "duplicate", "reorder"),
+                 "packet loss / duplication / reordering"),
+        SiteInfo(VCPU, "xen.scheduler", ("stall", "storm"),
+                 "vCPU stall or preemption storm"),
+        SiteInfo(ABOM_CMPXCHG, "core.abom", ("contend",),
+                 "cmpxchg contention from a racing vCPU"),
+        SiteInfo(REMUS_ACK, "xen.remus", ("fail",),
+                 "backup acknowledgement lost"),
+        SiteInfo(MIGRATION_ROUND, "xen.migration", ("dirty", "abort"),
+                 "pre-copy dirty-page fault or clean abort"),
+    )
+}
+
+#: The substrates the acceptance criteria require chaos coverage for.
+CORE_SUBSTRATES = (
+    "xen.events",
+    "xen.grant_table",
+    "xen.drivers",
+    "guest.netstack",
+    "xen.scheduler",
+    "core.abom",
+)
+
+
+def substrate_of(site: str) -> str:
+    """Substrate a site name belongs to (``"xen.events.notify"`` →
+    ``"xen.events"``)."""
+    info = SITES.get(site)
+    if info is not None:
+        return info.substrate
+    return site.rsplit(".", 1)[0]
+
+
+def validate(site: str, kind: str) -> None:
+    """Reject unknown sites and kinds a site does not support."""
+    info = SITES.get(site)
+    if info is None:
+        known = ", ".join(sorted(SITES))
+        raise ValueError(f"unknown fault site {site!r} (known: {known})")
+    if kind not in info.kinds:
+        raise ValueError(
+            f"site {site!r} does not support kind {kind!r} "
+            f"(supported: {', '.join(info.kinds)})"
+        )

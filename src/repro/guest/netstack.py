@@ -12,8 +12,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.faults import sites as fault_sites
+from repro.faults.retry import RetryPolicy
 from repro.guest.config import KernelConfig
 from repro.perf.costs import CostModel
+
+
+class NetstackTimeout(OSError):
+    """Every retransmission of a segment was lost; the connection reset."""
 
 
 class NetDevice(enum.Enum):
@@ -40,6 +46,9 @@ class NetStats:
     bytes_in: int = 0
     bytes_out: int = 0
     connections: int = 0
+    retransmits: int = 0
+    duplicates: int = 0
+    reorders: int = 0
 
 
 @dataclass
@@ -53,6 +62,12 @@ class NetStack:
     #: (Xen-Blanket in clouds, for instance).
     io_overhead_factor: float = 1.0
     stats: NetStats = field(default_factory=NetStats)
+    #: Optional :class:`repro.faults.plan.FaultEngine`; ``None`` keeps the
+    #: per-request hook a single attribute test.
+    faults: object | None = None
+    #: Retransmission budget: how many times one exchange's segments may
+    #: be lost before the connection resets.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def device_cost_ns(self) -> float:
         per_device = {
@@ -88,10 +103,67 @@ class NetStack:
         wire = (bytes_in + bytes_out) * (
             self.costs.net_per_byte_ns + self.costs.copy_per_byte_ns
         )
+        cost = stack + self.device_cost_ns() + wire
+        if self.faults is not None:
+            cost += self._packet_faults_cost_ns(
+                cost, nbytes=bytes_in + bytes_out
+            )
         self.stats.requests += 1
         self.stats.bytes_in += bytes_in
         self.stats.bytes_out += bytes_out
-        return stack + self.device_cost_ns() + wire
+        return cost
+
+    def _packet_faults_cost_ns(self, exchange_ns: float, nbytes: int) -> float:
+        """Injected loss/duplication/reordering for one exchange.
+
+        A drop costs a retransmission timeout plus a full resend — and the
+        resend is itself subject to loss, bounded by :attr:`retry`; budget
+        exhaustion resets the connection (:class:`NetstackTimeout`).
+        Duplicates and reorders only add spurious processing work.
+        """
+        extra = 0.0
+        losses = 0
+        while True:
+            fault = self.faults.fire(fault_sites.NET_PACKET, bytes=nbytes)
+            if fault is None:
+                if losses:
+                    self.faults.record_recovered(
+                        fault_sites.NET_PACKET, retransmits=losses
+                    )
+                return extra
+            if fault.kind == "drop":
+                losses += 1
+                self.stats.retransmits += 1
+                if losses >= self.retry.max_attempts:
+                    self.faults.record_fatal(
+                        fault_sites.NET_PACKET, retransmits=losses
+                    )
+                    raise NetstackTimeout(
+                        f"segment lost {losses} times; connection reset"
+                    )
+                self.faults.record_retry(fault_sites.NET_PACKET)
+                # RTO wait plus the full resend of the segment train.
+                extra += self.retry.backoff_ns(losses) + exchange_ns
+                continue
+            if fault.kind == "duplicate":
+                self.stats.duplicates += 1
+                self.faults.record_recovered(
+                    fault_sites.NET_PACKET, kind="duplicate"
+                )
+                # The dup is recognized by sequence number and dropped.
+                extra += exchange_ns * 0.1
+            elif fault.kind == "reorder":
+                self.stats.reorders += 1
+                self.faults.record_recovered(
+                    fault_sites.NET_PACKET, kind="reorder"
+                )
+                # Out-of-order queueing until the gap fills.
+                extra += exchange_ns * 0.25
+            if losses:
+                self.faults.record_recovered(
+                    fault_sites.NET_PACKET, retransmits=losses
+                )
+            return extra
 
     def connection_setup_cost_ns(self) -> float:
         self.stats.connections += 1

@@ -12,6 +12,7 @@ dispatches, and ABOM patches with simulated timestamps.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -50,12 +51,25 @@ class Tracer:
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.enabled = True
         self.dropped = 0
+        self._overflow_warned = False
 
     def emit(self, category: str, name: str, **detail) -> None:
         if not self.enabled:
             return
         if len(self._events) == self._events.maxlen:
             self.dropped += 1
+            if not self._overflow_warned:
+                # Warn once per overflow episode (chaos runs emit far more
+                # than the default capacity) instead of silently dropping;
+                # ``dropped`` keeps the exact count either way.
+                self._overflow_warned = True
+                warnings.warn(
+                    f"Tracer ring overflowed its capacity of "
+                    f"{self._events.maxlen}; oldest events are being "
+                    f"dropped (raise Tracer(capacity=...) to keep them)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self._events.append(
             TraceEvent(self.clock.now_ns, category, name, detail)
         )
@@ -78,6 +92,7 @@ class Tracer:
     def clear(self) -> None:
         self._events.clear()
         self.dropped = 0
+        self._overflow_warned = False
 
     def render(self, limit: int = 50) -> str:
         return "\n".join(e.render() for e in list(self._events)[-limit:])

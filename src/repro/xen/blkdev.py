@@ -15,8 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import sites as fault_sites
+from repro.faults.retry import RetryPolicy
 from repro.perf.clock import SimClock
 from repro.perf.costs import CostModel
+from repro.xen.drivers import BackendDeadError
 
 SECTOR_SIZE = 512
 
@@ -89,10 +92,18 @@ class BlockStats:
     reads: int = 0
     writes: int = 0
     bytes_moved: int = 0
+    backend_deaths: int = 0
+    backend_restarts: int = 0
+    ring_stalls: int = 0
 
 
 class SplitBlockDriver:
-    """blkfront/blkback pair: guest block I/O through a shared ring."""
+    """blkfront/blkback pair: guest block I/O through a shared ring.
+
+    Backend death is injectable (:data:`repro.faults.sites.BLK_BACKEND`)
+    and always strikes *before* any sector is touched, so a failed write
+    is never torn; blkfront reconnects and retries under :attr:`retry`.
+    """
 
     def __init__(
         self,
@@ -102,12 +113,42 @@ class SplitBlockDriver:
         #: Native (non-split) backends skip the ring cost: Docker's
         #: device-mapper path.
         split: bool = True,
+        faults=None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.store = store
         self.costs = costs or CostModel()
         self.clock = clock
         self.split = split
+        #: Optional :class:`repro.faults.plan.FaultEngine`.
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
         self.stats = BlockStats()
+        self.backend_alive = True
+
+    def _ring_entry(self, op: str) -> None:
+        """Fault hook at ring submission; no-op on the native path."""
+        if not self.split:
+            return
+        if not self.backend_alive:
+            # blkback reconnect: one ring re-setup charge.
+            self.backend_alive = True
+            self.stats.backend_restarts += 1
+            if self.clock is not None:
+                self.clock.advance(self.costs.netfront_ns)
+        if self.faults is not None:
+            fault = self.faults.fire(fault_sites.BLK_BACKEND, op=op)
+            if fault is not None:
+                if fault.kind == "kill":
+                    self.backend_alive = False
+                    self.stats.backend_deaths += 1
+                    raise BackendDeadError("blkback died mid-ring")
+                if fault.kind == "stall":
+                    self.stats.ring_stalls += 1
+                    if self.clock is not None:
+                        self.clock.advance(
+                            self.costs.netfront_ns * max(1.0, fault.param)
+                        )
 
     def _charge(self, nbytes: int) -> None:
         cost = nbytes * self.costs.copy_per_byte_ns
@@ -122,6 +163,16 @@ class SplitBlockDriver:
     def read(self, sector: int, count: int = 1) -> bytes:
         if count < 1:
             raise BlockError(f"count must be >= 1: {count}")
+        return self.retry.run(
+            lambda: self._read_once(sector, count),
+            retriable=(BackendDeadError,),
+            clock=self.clock,
+            faults=self.faults,
+            site=fault_sites.BLK_BACKEND,
+        )
+
+    def _read_once(self, sector: int, count: int) -> bytes:
+        self._ring_entry("read")
         out = b"".join(
             self.store.read_sector(sector + i) for i in range(count)
         )
@@ -135,6 +186,16 @@ class SplitBlockDriver:
             raise BlockError(
                 f"write size {len(data)} not sector-aligned"
             )
+        self.retry.run(
+            lambda: self._write_once(sector, data),
+            retriable=(BackendDeadError,),
+            clock=self.clock,
+            faults=self.faults,
+            site=fault_sites.BLK_BACKEND,
+        )
+
+    def _write_once(self, sector: int, data: bytes) -> None:
+        self._ring_entry("write")
         for i in range(len(data) // SECTOR_SIZE):
             self.store.write_sector(
                 sector + i,

@@ -9,19 +9,34 @@ The model tracks ring occupancy, grant usage and event-channel kicks, and
 charges :attr:`CostModel.netfront_ns` per request pair plus per-byte copy
 costs — the network-path overhead Xen-Containers and X-Containers both pay
 relative to native Docker.
+
+Resilience: the frontend survives backend death, ring stalls, lost kicks
+and transient grant failures (all injectable via :mod:`repro.faults`) by
+reconnecting — tear down the dead ring, re-grant, re-map, re-bind — under
+a bounded :class:`~repro.faults.retry.RetryPolicy`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import sites as fault_sites
+from repro.faults.retry import RetryPolicy
 from repro.perf.clock import SimClock
 from repro.perf.costs import CostModel
 from repro.xen.events import EventChannelTable
-from repro.xen.grant_table import GrantTable
+from repro.xen.grant_table import GrantError, GrantTable
 from repro.xen.hypervisor import Domain
 
 RING_SIZE = 256
+
+
+class BackendDeadError(RuntimeError):
+    """The backend driver domain died mid-ring; reconnect required."""
+
+
+class NotificationLost(RuntimeError):
+    """An event-channel kick was dropped; the frontend must re-kick."""
 
 
 @dataclass
@@ -31,6 +46,8 @@ class RingStats:
     bytes_moved: int = 0
     kicks: int = 0
     ring_full_stalls: int = 0
+    backend_deaths: int = 0
+    backend_restarts: int = 0
 
 
 class SplitNetDriver:
@@ -44,6 +61,8 @@ class SplitNetDriver:
         events: EventChannelTable,
         costs: CostModel | None = None,
         clock: SimClock | None = None,
+        faults=None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.guest = guest
         self.backend = backend
@@ -51,7 +70,11 @@ class SplitNetDriver:
         self.events = events
         self.costs = costs or CostModel()
         self.clock = clock
+        #: Optional :class:`repro.faults.plan.FaultEngine`.
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
         self.stats = RingStats()
+        self.backend_alive = True
         self._in_flight = 0
         # The shared ring page: granted by the guest, mapped by the backend.
         self._ring_grant = grants.grant_access(guest.domid, 0xF000)
@@ -70,30 +93,88 @@ class SplitNetDriver:
 
         Returns the simulated cost.  If the ring is full the caller stalls
         until the backend drains (charged as one ring-service latency).
+        Backend death, lost kicks and transient grant failures are retried
+        under :attr:`retry`; the reconnect path re-establishes the ring.
         """
         if nbytes < 0:
             raise ValueError(f"negative payload: {nbytes}")
+        return self.retry.run(
+            lambda: self._transmit_once(nbytes),
+            retriable=(BackendDeadError, NotificationLost, GrantError),
+            clock=self.clock,
+            faults=self.faults,
+            site=fault_sites.NET_BACKEND,
+        )
+
+    def _transmit_once(self, nbytes: int) -> float:
+        if not self.backend_alive:
+            self._restart_backend()
         cost = self.costs.netfront_ns + nbytes * self.costs.copy_per_byte_ns
+        if self.faults is not None:
+            fault = self.faults.fire(fault_sites.NET_BACKEND, bytes=nbytes)
+            if fault is not None and fault.kind == "kill":
+                self.backend_alive = False
+                self.stats.backend_deaths += 1
+                raise BackendDeadError(
+                    f"netback in domain {self.backend.domid} died mid-ring"
+                )
+            stall = self.faults.fire(fault_sites.NET_RING, bytes=nbytes)
+            if stall is not None and stall.kind == "stall":
+                self.stats.ring_full_stalls += 1
+                cost += self.costs.netfront_ns * max(1.0, stall.param)
         if self._in_flight >= RING_SIZE:
             self.stats.ring_full_stalls += 1
             cost += self.costs.netfront_ns
             self._in_flight = 0
         self._in_flight += 1
+        try:
+            if not self.events.send(self._event_port):
+                raise NotificationLost(
+                    f"kick lost on port {self._event_port}"
+                )
+        except BaseException:
+            self._in_flight -= 1
+            raise
+        self.events.drain(via_hypercall=False)
         self.stats.requests += 1
         self.stats.responses += 1
         self.stats.bytes_moved += nbytes
-        self.events.send(self._event_port)
-        self.events.drain(via_hypercall=False)
         if self.clock is not None:
             self.clock.advance(cost)
         self._in_flight -= 1
         return cost
+
+    def _restart_backend(self) -> None:
+        """Reconnect after backend death: fresh grant, map, event port.
+
+        Idempotent under partial failure — a :class:`GrantMapError` raised
+        mid-restart leaves state the next attempt can clean up.
+        """
+        try:
+            self.grants.unmap_grant(self._ring_grant, self.backend.domid)
+        except GrantError:
+            pass  # the dead backend's mapping died with it
+        try:
+            self.grants.end_access(self._ring_grant)
+        except GrantError:
+            pass
+        self.events.unbind(self._event_port)
+        self._in_flight = 0
+        self._ring_grant = self.grants.grant_access(self.guest.domid, 0xF000)
+        self.grants.map_grant(self._ring_grant, self.backend.domid)
+        self._event_port = self.events.bind(self._on_backend_kick)
+        self.backend_alive = True
+        self.stats.backend_restarts += 1
 
     def per_request_cost_ns(self, nbytes: int) -> float:
         """Pure cost query without charging (used by the macro models)."""
         return self.costs.netfront_ns + nbytes * self.costs.copy_per_byte_ns
 
     def close(self) -> None:
-        self.grants.unmap_grant(self._ring_grant, self.backend.domid)
-        self.grants.end_access(self._ring_grant)
+        try:
+            self.grants.unmap_grant(self._ring_grant, self.backend.domid)
+            self.grants.end_access(self._ring_grant)
+        except GrantError:
+            if self.backend_alive:
+                raise
         self.events.unbind(self._event_port)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.faults import sites as fault_sites
 from repro.perf.clock import SimClock
 from repro.perf.costs import CostModel
 
@@ -34,15 +35,21 @@ class EventChannelTable:
         self,
         costs: CostModel | None = None,
         clock: SimClock | None = None,
+        faults=None,
     ) -> None:
         self.costs = costs or CostModel()
         self.clock = clock
+        #: Optional :class:`repro.faults.plan.FaultEngine`; ``None`` keeps
+        #: every hook a single attribute test.
+        self.faults = faults
         self._channels: dict[int, EventChannel] = {}
         self._next_port = 1
         #: The shared "any event pending" variable.
         self.evtchn_upcall_pending = False
         self.hypercall_deliveries = 0
         self.direct_deliveries = 0
+        self.notifications_dropped = 0
+        self.notifications_delayed = 0
 
     def bind(self, handler: Callable[[], None]) -> int:
         port = self._next_port
@@ -53,13 +60,29 @@ class EventChannelTable:
     def unbind(self, port: int) -> None:
         self._channels.pop(port, None)
 
-    def send(self, port: int) -> None:
-        """Raise an event on ``port`` (from the hypervisor / another domain)."""
+    def send(self, port: int) -> bool:
+        """Raise an event on ``port`` (from the hypervisor / another domain).
+
+        Returns True when the notification landed.  Under fault injection
+        a ``drop`` loses the notify (the caller must re-kick — the shared
+        pending flag never gets set) and a ``delay`` charges ``param`` ns
+        before delivery.
+        """
         channel = self._channels.get(port)
         if channel is None:
             raise KeyError(f"no event channel bound on port {port}")
+        if self.faults is not None:
+            fault = self.faults.fire(fault_sites.EVENT_NOTIFY, port=port)
+            if fault is not None:
+                if fault.kind == "drop":
+                    self.notifications_dropped += 1
+                    return False
+                if fault.kind == "delay":
+                    self.notifications_delayed += 1
+                    self._charge(fault.param)
         channel.pending += 1
         self.evtchn_upcall_pending = True
+        return True
 
     def pending_ports(self) -> list[int]:
         return [p for p, c in self._channels.items() if c.pending > 0]

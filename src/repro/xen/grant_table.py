@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import sites as fault_sites
 from repro.xen.hypercalls import HypercallTable
 
 
@@ -28,13 +29,26 @@ class GrantError(Exception):
     pass
 
 
+class GrantMapError(GrantError):
+    """Transient map failure (resource pressure or injected); retriable."""
+
+
+class GrantCopyError(GrantError):
+    """Transient copy failure (resource pressure or injected); retriable."""
+
+
 class GrantTable:
     """Grant bookkeeping for one hypervisor instance."""
 
-    def __init__(self, hypercalls: HypercallTable) -> None:
+    def __init__(self, hypercalls: HypercallTable, faults=None) -> None:
         self.hypercalls = hypercalls
+        #: Optional :class:`repro.faults.plan.FaultEngine`.
+        self.faults = faults
         self._grants: dict[int, GrantRef] = {}
         self._next_ref = 1
+        self.map_failures = 0
+        self.copy_failures = 0
+        self.copies = 0
 
     def grant_access(
         self, owner_domid: int, page_addr: int, readonly: bool = False
@@ -52,9 +66,47 @@ class GrantTable:
             raise GrantError("domain cannot map its own grant")
         if grant.mapped_by is not None:
             raise GrantError(f"grant {ref} already mapped")
+        if self.faults is not None:
+            fault = self.faults.fire(
+                fault_sites.GRANT_MAP, ref=ref, mapper=mapper_domid
+            )
+            if fault is not None and fault.kind == "fail":
+                self.map_failures += 1
+                raise GrantMapError(
+                    f"transient failure mapping grant {ref} "
+                    f"for domain {mapper_domid}"
+                )
         self.hypercalls.call("grant_table_op")
         grant.mapped_by = mapper_domid
         return grant
+
+    def copy_grant(self, ref: int, requester_domid: int, nbytes: int) -> int:
+        """``GNTTABOP_copy``: hypervisor-mediated copy through a grant.
+
+        Returns the bytes copied; the grant must exist and be visible to
+        the requester (its owner, or the domain it is mapped by).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative copy size: {nbytes}")
+        grant = self._grants.get(ref)
+        if grant is None:
+            raise GrantError(f"no such grant ref {ref}")
+        if requester_domid not in (grant.owner_domid, grant.mapped_by):
+            raise GrantError(
+                f"grant {ref} not visible to domain {requester_domid}"
+            )
+        if self.faults is not None:
+            fault = self.faults.fire(
+                fault_sites.GRANT_COPY, ref=ref, bytes=nbytes
+            )
+            if fault is not None and fault.kind == "fail":
+                self.copy_failures += 1
+                raise GrantCopyError(
+                    f"transient failure copying {nbytes} B via grant {ref}"
+                )
+        self.hypercalls.call("grant_table_op")
+        self.copies += 1
+        return nbytes
 
     def unmap_grant(self, ref: int, mapper_domid: int) -> None:
         grant = self._grants.get(ref)

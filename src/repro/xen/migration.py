@@ -20,9 +20,10 @@ implements them over the simulated substrates:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.memory import PagedMemory, PAGE_SIZE
+from repro.faults import sites as fault_sites
 from repro.perf.costs import CostModel
 
 
@@ -79,6 +80,10 @@ class MigrationReport:
     downtime_ms: float
     total_ms: float
     converged: bool
+    #: True when the migration gave up cleanly (injected abort or
+    #: non-convergence with ``abort_on_non_convergence``); the source
+    #: keeps running, nothing was handed over.
+    aborted: bool = False
 
 
 class LiveMigration:
@@ -99,6 +104,10 @@ class LiveMigration:
         max_rounds: int = 30,
         downtime_budget_ms: float = 300.0,
         costs: CostModel | None = None,
+        faults=None,
+        #: Abort instead of forcing an over-budget stop-and-copy when the
+        #: guest dirties faster than the link sends.
+        abort_on_non_convergence: bool = False,
     ) -> None:
         if memory_mb <= 0:
             raise ValueError(f"memory_mb must be positive: {memory_mb}")
@@ -112,6 +121,9 @@ class LiveMigration:
         self.max_rounds = max_rounds
         self.downtime_budget_ms = downtime_budget_ms
         self.costs = costs or CostModel()
+        #: Optional :class:`repro.faults.plan.FaultEngine`.
+        self.faults = faults
+        self.abort_on_non_convergence = abort_on_non_convergence
 
     def _send_time_s(self, pages: float) -> float:
         return pages / self.bandwidth_pages_s
@@ -125,6 +137,7 @@ class LiveMigration:
         budget_pages = (
             self.downtime_budget_ms / 1e3
         ) * self.bandwidth_pages_s
+        injected = 0
         while rounds < self.max_rounds:
             rounds += 1
             send_s = self._send_time_s(to_send)
@@ -134,11 +147,47 @@ class LiveMigration:
             dirtied = min(
                 self.dirty_rate_pages_s * send_s, float(self.memory_pages)
             )
+            if self.faults is not None:
+                fault = self.faults.fire(
+                    fault_sites.MIGRATION_ROUND, round=rounds
+                )
+                if fault is not None:
+                    if fault.kind == "abort":
+                        # Clean abort: stop sending, nothing handed over.
+                        self.faults.record_recovered(
+                            fault_sites.MIGRATION_ROUND, round=rounds
+                        )
+                        return MigrationReport(
+                            rounds=rounds,
+                            pages_sent=int(pages_sent),
+                            downtime_ms=0.0,
+                            total_ms=total_s * 1e3,
+                            converged=False,
+                            aborted=True,
+                        )
+                    if fault.kind == "dirty":
+                        # A burst re-dirties extra pages this round.
+                        injected += 1
+                        extra = (
+                            fault.param
+                            if fault.param > 0
+                            else self.memory_pages * 0.1
+                        )
+                        dirtied = min(
+                            dirtied + extra, float(self.memory_pages)
+                        )
+                        self.faults.record_retry(
+                            fault_sites.MIGRATION_ROUND, round=rounds
+                        )
             if dirtied <= budget_pages:
                 # Stop-and-copy the residual set.
                 downtime_s = self._send_time_s(dirtied)
                 pages_sent += dirtied
                 total_s += downtime_s
+                if injected and self.faults is not None:
+                    self.faults.record_recovered(
+                        fault_sites.MIGRATION_ROUND, rounds=rounds
+                    )
                 return MigrationReport(
                     rounds=rounds,
                     pages_sent=int(pages_sent),
@@ -146,10 +195,24 @@ class LiveMigration:
                     total_ms=total_s * 1e3,
                     converged=True,
                 )
-            if dirtied >= to_send:
+            if dirtied >= to_send and rounds > 1:
                 # Not converging: the guest dirties faster than we send.
                 break
             to_send = dirtied
+        if self.abort_on_non_convergence:
+            # Clean abort instead of blowing the downtime budget.
+            if self.faults is not None:
+                self.faults.record_recovered(
+                    fault_sites.MIGRATION_ROUND, rounds=rounds
+                )
+            return MigrationReport(
+                rounds=rounds,
+                pages_sent=int(pages_sent),
+                downtime_ms=0.0,
+                total_ms=total_s * 1e3,
+                converged=False,
+                aborted=True,
+            )
         # Forced stop-and-copy of whatever remains.
         downtime_s = self._send_time_s(to_send)
         pages_sent += to_send
@@ -161,3 +224,37 @@ class LiveMigration:
             total_ms=total_s * 1e3,
             converged=False,
         )
+
+
+@dataclass
+class MigrationSession:
+    """Live migration of one concrete domain, with abort safety.
+
+    Wraps :class:`LiveMigration` around a source
+    :class:`~repro.xen.hypervisor.Domain`: on completion the source is
+    stopped (ownership moved to the destination); on a clean abort the
+    source is left **runnable** — an aborted migration must never strand
+    the domain paused (§3.3 regression; see
+    ``tests/faults/test_failure_paths.py``).
+    """
+
+    source: object
+    migration: LiveMigration
+    report: MigrationReport | None = field(default=None)
+
+    def run(self) -> MigrationReport:
+        if not getattr(self.source, "running", True):
+            raise ValueError(
+                f"source domain {self.source.name!r} is not running"
+            )
+        report = self.migration.run()
+        if report.aborted:
+            # The source was paused for what would have been the final
+            # stop-and-copy; abort resumes it where it was.
+            self.source.running = True
+        else:
+            # Converged (or forced stop-and-copy): the destination owns
+            # the domain now; the source copy is quiesced.
+            self.source.running = False
+        self.report = report
+        return report

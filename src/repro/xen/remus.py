@@ -7,7 +7,12 @@ that makes failover externally transparent.
 
 The model runs epochs over a workload description (dirty pages and output
 packets per epoch) and accounts replication bandwidth, added output
-latency, and failover position.
+latency, and failover position.  Backup acknowledgements are injectable
+(:data:`repro.faults.sites.REMUS_ACK`): a lost ack keeps the epoch's
+output buffered — it is *never* released — until a later epoch's ack
+covers it, and a failover with uncommitted epochs discards exactly the
+unreleased output (clients never saw it, so the backup's re-execution
+from the last acknowledged epoch is externally consistent).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.memory import PAGE_SIZE
+from repro.faults import sites as fault_sites
 
 
 class FailoverError(RuntimeError):
@@ -34,6 +40,8 @@ class ReplicationStats:
     pages_shipped: int = 0
     packets_released: int = 0
     packets_buffered_peak: int = 0
+    acks_lost: int = 0
+    packets_discarded: int = 0
 
 
 class RemusReplicator:
@@ -43,6 +51,7 @@ class RemusReplicator:
         self,
         epoch_ms: float = 25.0,
         bandwidth_mbps: float = 10000.0,
+        faults=None,
     ) -> None:
         if epoch_ms <= 0:
             raise ValueError(f"epoch must be positive: {epoch_ms}")
@@ -50,28 +59,38 @@ class RemusReplicator:
         self.bandwidth_pages_per_epoch = (
             bandwidth_mbps * 1e6 / 8.0 * (epoch_ms / 1e3) / PAGE_SIZE
         )
+        #: Optional :class:`repro.faults.plan.FaultEngine`.
+        self.faults = faults
         self.stats = ReplicationStats()
-        #: Packets generated but not yet released (their epoch is not yet
-        #: acknowledged by the backup).
-        self._buffered_output: list[int] = []
+        #: Output buffered per epoch: ``(epoch_index, packets)``, oldest
+        #: first; an entry leaves the buffer only when its epoch (or a
+        #: later one) is acknowledged, or when failover discards it.
+        self._buffered_output: list[tuple[int, int]] = []
         #: Epoch index the backup has durably applied.
         self.backup_epoch = -1
         self._failed = False
+        self._packets_produced = 0
 
     # ------------------------------------------------------------------
     # Epoch processing
     # ------------------------------------------------------------------
     def run_epoch(self, epoch: Epoch) -> float:
         """Replicate one epoch; returns the added output latency (ms) for
-        packets produced in it."""
+        packets produced in it.
+
+        If the backup's acknowledgement is lost (injected), the epoch's
+        output stays buffered and :attr:`backup_epoch` does not advance;
+        the next acknowledged epoch releases everything up to itself.
+        """
         if self._failed:
             raise FailoverError("primary already failed")
         if epoch.dirty_pages < 0 or epoch.output_packets < 0:
             raise ValueError("negative epoch accounting")
-        self._buffered_output.append(epoch.output_packets)
+        self._buffered_output.append((epoch.index, epoch.output_packets))
+        self._packets_produced += epoch.output_packets
         self.stats.packets_buffered_peak = max(
             self.stats.packets_buffered_peak,
-            sum(self._buffered_output),
+            self.buffered_packets,
         )
         # Ship the dirty set; may take multiple epoch-lengths if large.
         ship_epochs = max(
@@ -79,16 +98,38 @@ class RemusReplicator:
         )
         self.stats.epochs += 1
         self.stats.pages_shipped += epoch.dirty_pages
-        # Backup acknowledges; output for this epoch is released.
-        self.backup_epoch = epoch.index
-        released = self._buffered_output.pop(0)
-        self.stats.packets_released += released
-        # Output latency: buffered for the replication time of its epoch.
-        return ship_epochs * self.epoch_ms
+        acked = True
+        if self.faults is not None:
+            fault = self.faults.fire(fault_sites.REMUS_ACK, epoch=epoch.index)
+            if fault is not None and fault.kind == "fail":
+                acked = False
+                self.stats.acks_lost += 1
+                self.faults.record_retry(
+                    fault_sites.REMUS_ACK, epoch=epoch.index
+                )
+        if acked:
+            was_lagging = len(self._buffered_output) > 1
+            self.backup_epoch = epoch.index
+            released = 0
+            while (
+                self._buffered_output
+                and self._buffered_output[0][0] <= epoch.index
+            ):
+                released += self._buffered_output.pop(0)[1]
+            self.stats.packets_released += released
+            if was_lagging and self.faults is not None:
+                # This ack also committed previously-unacked epochs.
+                self.faults.record_recovered(
+                    fault_sites.REMUS_ACK, epoch=epoch.index
+                )
+        # Output latency: buffered for the replication time of its epoch
+        # (an unacknowledged epoch waits at least one more epoch-length).
+        latency_epochs = ship_epochs if acked else ship_epochs + 1.0
+        return latency_epochs * self.epoch_ms
 
     @property
     def buffered_packets(self) -> int:
-        return sum(self._buffered_output)
+        return sum(packets for _, packets in self._buffered_output)
 
     # ------------------------------------------------------------------
     # Failure
@@ -97,19 +138,32 @@ class RemusReplicator:
         """Kill the primary; returns the epoch the backup resumes from.
 
         Buffered (unreleased) output is discarded — clients never saw it,
-        so the backup's re-execution is externally consistent.
+        so the backup's re-execution is externally consistent.  Discarded
+        packets are *never* counted as released.
         """
-        self._failed = True
-        discarded = self.buffered_packets
-        self._buffered_output.clear()
         if self.backup_epoch < 0:
             raise FailoverError("backup never received a checkpoint")
+        self._failed = True
+        discarded = self.buffered_packets
+        self.stats.packets_discarded += discarded
+        self._buffered_output.clear()
         return self.backup_epoch
 
     def output_commit_invariant(self) -> bool:
-        """No packet is released before its epoch is replicated."""
-        return self.stats.packets_released >= 0 and (
-            self.backup_epoch >= self.stats.epochs - 1
-            or self.buffered_packets > 0
-            or self.stats.epochs == 0
+        """No packet escapes before its epoch is replicated.
+
+        Holds exactly when (a) nothing buffered belongs to an epoch the
+        backup already acknowledged, and (b) every packet ever produced is
+        accounted for as released, still buffered, or discarded at
+        failover.
+        """
+        if any(
+            index <= self.backup_epoch for index, _ in self._buffered_output
+        ):
+            return False
+        accounted = (
+            self.stats.packets_released
+            + self.buffered_packets
+            + self.stats.packets_discarded
         )
+        return accounted == self._packets_produced

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.faults import sites as fault_sites
 from repro.perf.costs import CostModel
 
 
@@ -36,14 +37,22 @@ class CreditScheduler:
         physical_cpus: int,
         costs: CostModel | None = None,
         quantum_ns: float = 30e6,  # Xen's 30 ms default time slice
+        faults=None,
     ) -> None:
         if physical_cpus < 1:
             raise ValueError(f"need at least one pCPU: {physical_cpus}")
         self.physical_cpus = physical_cpus
         self.costs = costs or CostModel()
         self.quantum_ns = quantum_ns
+        #: Optional :class:`repro.faults.plan.FaultEngine`.
+        self.faults = faults
         self._vcpus: list[VCpu] = []
         self.switches = 0
+        self.stall_events = 0
+        self.storm_events = 0
+        #: Scheduler faults auto-heal at the next interval; this carries
+        #: the recovery count across the call boundary.
+        self._pending_recoveries = 0
 
     def add_vcpu(self, domid: int, weight: int = 256) -> VCpu:
         vcpu = VCpu(len(self._vcpus), domid, weight)
@@ -84,10 +93,34 @@ class CreditScheduler:
         runnable = self.runnable
         if not runnable:
             return {}
+        overhead_factor = 1.0
+        if self.faults is not None:
+            if self._pending_recoveries:
+                # Last interval's stall/storm healed by rescheduling.
+                for _ in range(self._pending_recoveries):
+                    self.faults.record_recovered(fault_sites.VCPU)
+                self._pending_recoveries = 0
+            fault = self.faults.fire(
+                fault_sites.VCPU, runnable=len(runnable)
+            )
+            if fault is not None:
+                if fault.kind == "stall" and len(runnable) > 1:
+                    # One vCPU misses this interval (stuck in a long
+                    # hypercall / blocked on a dead event channel).
+                    victim = runnable[fault.occurrence % len(runnable)]
+                    runnable = [v for v in runnable if v is not victim]
+                    self.stall_events += 1
+                    self._pending_recoveries += 1
+                elif fault.kind == "storm":
+                    overhead_factor = max(1.0, fault.param or 8.0)
+                    self.storm_events += 1
+                    self._pending_recoveries += 1
         total_capacity = interval_ns * self.physical_cpus
-        oversubscribed = len(runnable) > self.physical_cpus
+        oversubscribed = (
+            len(runnable) > self.physical_cpus or overhead_factor > 1.0
+        )
         if oversubscribed:
-            quanta = total_capacity / self.quantum_ns
+            quanta = total_capacity / self.quantum_ns * overhead_factor
             overhead = quanta * self.switch_cost_ns()
             self.switches += int(quanta)
             total_capacity = max(0.0, total_capacity - overhead)

@@ -10,9 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import sites as fault_sites
+from repro.faults.retry import RetryPolicy
 from repro.perf.clock import SimClock
 from repro.perf.costs import CostModel
 from repro.xen.hypervisor import Domain, DomainKind, XenHypervisor
+
+
+class SpawnTimeout(RuntimeError):
+    """``xl create`` timed out; the half-built domain was torn down."""
 
 
 @dataclass
@@ -33,12 +39,22 @@ class Toolstack:
         self,
         xen: XenHypervisor,
         lightvm_mode: bool = False,
+        faults=None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.xen = xen
         #: LightVM's streamlined toolstack (no xenstore transactions, no
         #: device-model handshakes).
         self.lightvm_mode = lightvm_mode
+        #: Optional :class:`repro.faults.plan.FaultEngine`.
+        self.faults = faults
+        #: Spawn retries back off in the millisecond range — xl restarts
+        #: the whole create transaction, not a single hypercall.
+        self.retry = retry or RetryPolicy(
+            max_attempts=4, base_backoff_ns=1e6, max_backoff_ns=1e8
+        )
         self.creations: list[DomainCreation] = []
+        self.spawn_timeouts = 0
 
     @property
     def costs(self) -> CostModel:
@@ -57,8 +73,40 @@ class Toolstack:
         full_vm_boot: bool = True,
     ) -> DomainCreation:
         """Create a domain; ``full_vm_boot=False`` is the X-LibOS +
-        bootloader path (180 ms instead of a full distro boot)."""
+        bootloader path (180 ms instead of a full distro boot).
+
+        Injected spawn timeouts tear the half-created domain down (no
+        leaked memory accounting) and are retried under :attr:`retry`.
+        """
+        return self.retry.run(
+            lambda: self._create_once(
+                name, vcpus, memory_mb, kind, full_vm_boot
+            ),
+            retriable=(SpawnTimeout,),
+            clock=self.clock,
+            faults=self.faults,
+            site=fault_sites.TOOLSTACK_SPAWN,
+        )
+
+    def _create_once(
+        self,
+        name: str,
+        vcpus: int,
+        memory_mb: int,
+        kind: DomainKind,
+        full_vm_boot: bool,
+    ) -> DomainCreation:
         domain = self.xen.create_domain(name, kind, vcpus, memory_mb)
+        if self.faults is not None:
+            fault = self.faults.fire(fault_sites.TOOLSTACK_SPAWN, domain=name)
+            if fault is not None and fault.kind == "timeout":
+                self.spawn_timeouts += 1
+                self.xen.destroy_domain(domain.domid)
+                # Charge the wasted wait before xl gives up on the stuck
+                # xenstore/device handshake.
+                wait_ns = fault.param or self.costs.xl_toolstack_ms * 1e6
+                self.clock.advance(wait_ns)
+                raise SpawnTimeout(f"xl create {name!r} timed out")
         toolstack_ms = (
             self.costs.lightvm_toolstack_ms
             if self.lightvm_mode

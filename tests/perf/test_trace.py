@@ -25,12 +25,30 @@ class TestTracer:
         assert len(tracer.events(name="two")) == 2
         assert len(tracer.events(category="a", name="two")) == 1
 
-    def test_ring_buffer_drops_oldest(self):
+    def test_ring_buffer_drops_oldest_and_warns_once(self):
         tracer = Tracer(SimClock(), capacity=2)
-        for index in range(4):
-            tracer.emit("c", f"e{index}")
+        tracer.emit("c", "e0")
+        tracer.emit("c", "e1")
+        with pytest.warns(RuntimeWarning, match="ring overflowed"):
+            tracer.emit("c", "e2")
+        # Further overflow is counted but does not warn again.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            tracer.emit("c", "e3")
         assert tracer.dropped == 2
         assert [e.name for e in tracer.events()] == ["e2", "e3"]
+
+    def test_clear_rearms_the_overflow_warning(self):
+        tracer = Tracer(SimClock(), capacity=1)
+        tracer.emit("c", "e0")
+        with pytest.warns(RuntimeWarning):
+            tracer.emit("c", "e1")
+        tracer.clear()
+        tracer.emit("c", "e0")
+        with pytest.warns(RuntimeWarning):
+            tracer.emit("c", "e1")
 
     def test_disabled_tracer_is_silent(self):
         tracer = Tracer(SimClock())
@@ -81,6 +99,32 @@ class TestContainerTracing:
         # The patch event records the site address.
         (patch,) = tracer.events("abom", "patch")
         assert patch.detail["site"] > 0x400000
+
+    def test_fault_lifecycle_visible_through_attach_tracer(self):
+        """Chaos runs are capturable: ``xc.attach_tracer`` wires the
+        fault engine's injected/retried/recovered events in too."""
+        from repro.faults import sites
+        from repro.faults.plan import FaultPlan, FaultSpec, Nth
+
+        engine = FaultPlan(
+            (FaultSpec(sites.ABOM_CMPXCHG, "contend", Nth(1)),), 0
+        ).compile()
+        xc = XContainer(CountingServices(), faults=engine)
+        tracer = Tracer(xc.clock)
+        xc.attach_tracer(tracer)
+        asm = Assembler()
+        asm.mov_imm32(Reg.RBX, 3)
+        asm.label("loop")
+        asm.syscall_site(39)
+        asm.dec(Reg.RBX)
+        asm.jne("loop")
+        asm.hlt()
+        xc.run(asm.build())
+        assert len(tracer.events("fault", "injected")) == 1
+        assert len(tracer.events("fault", "retried")) == 1
+        assert len(tracer.events("fault", "recovered")) == 1
+        (injected,) = tracer.events("fault", "injected")
+        assert injected.detail["site"] == sites.ABOM_CMPXCHG
 
     def test_unrecognized_sites_traced(self):
         xc = XContainer(CountingServices())

@@ -72,3 +72,33 @@ class TestAnalyzeCommand:
     def test_unknown_example_errors(self):
         with pytest.raises(SystemExit, match="unknown example"):
             main(["analyze", "nonesuch"])
+
+
+class TestChaosCommand:
+    def test_full_catalog_recovers_and_exits_zero(self, capsys):
+        assert main(["chaos", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL RECOVERED" in out
+        assert "core substrate coverage: complete" in out
+
+    def test_output_is_byte_identical_for_same_seed(self, capsys):
+        main(["chaos", "--seed", "11"])
+        first = capsys.readouterr().out
+        main(["chaos", "--seed", "11"])
+        assert capsys.readouterr().out == first
+
+    def test_single_scenario_run(self, capsys):
+        assert main(["chaos", "nginx-packet-loss", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "nginx-packet-loss" in out
+        assert "backend-death-memcached" not in out
+
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "backend-death-memcached" in out
+        assert "abom-cmpxchg-contention" in out
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["chaos", "nonesuch"])
