@@ -1,0 +1,102 @@
+"""CI gate on library-benchmark speedups vs the frozen seed baseline.
+
+Reads ``BENCH_interpreter.json`` (written by the library benchmarks via
+``benchmarks/conftest.py``), renders a markdown speedup table — appended
+to the GitHub Actions step summary when ``$GITHUB_STEP_SUMMARY`` is set,
+printed to stdout otherwise — and exits non-zero if any
+``speedup_vs_seed`` entry drops below the threshold (default 0.9).
+
+Usage::
+
+    python benchmarks/speedup_gate.py [--json PATH] [--threshold 0.9]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_interpreter.json"
+
+
+def render_table(payload: dict, threshold: float) -> tuple[str, list[str]]:
+    """Build the markdown table; returns (markdown, failing benchmark names)."""
+    baseline = payload.get("seed_baseline", {})
+    results = payload.get("results", {})
+    speedups = payload.get("speedup_vs_seed", {})
+    lines = [
+        "## Library benchmark speedups vs seed",
+        "",
+        "| benchmark | seed ops/s | current ops/s | speedup | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    failing = []
+    for name, speedup in sorted(speedups.items()):
+        seed_ops = baseline.get(name, {}).get("ops_per_sec")
+        cur_ops = results.get(name, {}).get("ops_per_sec")
+        ok = speedup >= threshold
+        if not ok:
+            failing.append(name)
+        lines.append(
+            f"| `{name}` | {seed_ops:,} | {cur_ops:,} | {speedup:.2f}x "
+            f"| {'✅' if ok else f'❌ below {threshold}'} |"
+        )
+    unbaselined = sorted(set(results) - set(speedups))
+    if unbaselined:
+        lines += [
+            "",
+            "New benchmarks without a seed baseline (informational): "
+            + ", ".join(f"`{n}`" for n in unbaselined),
+        ]
+    ablation = results.get("test_ring_batch_ablation", {}).get(
+        "ablation_ns_per_desc"
+    )
+    if ablation:
+        lines += [
+            "",
+            "### Ring batch-size ablation (host ns/descriptor)",
+            "",
+            "| batch size | ns/descriptor |",
+            "|---:|---:|",
+        ]
+        lines += [
+            f"| {size} | {ns:,} |" for size, ns in ablation.items()
+        ]
+    return "\n".join(lines) + "\n", failing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
+    parser.add_argument("--threshold", type=float, default=0.9)
+    args = parser.parse_args(argv)
+
+    if not args.json.exists():
+        print(f"speedup gate: {args.json} not found — did the library "
+              f"benchmarks run?", file=sys.stderr)
+        return 2
+    payload = json.loads(args.json.read_text())
+    table, failing = render_table(payload, args.threshold)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table)
+    print(table)
+
+    if failing:
+        print(
+            f"speedup gate FAILED: {len(failing)} benchmark(s) below "
+            f"{args.threshold}x seed: {', '.join(failing)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"speedup gate passed (threshold {args.threshold}x seed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

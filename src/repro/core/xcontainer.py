@@ -76,6 +76,9 @@ class XContainer:
         self.cpus: list[CPU] = [self.cpu]
         self.xkernel.attach(self.cpu, self.libos)
         self._setup_stack(self.cpu, index=0)
+        #: name -> split driver (SplitNetDriver / SplitBlockDriver) whose
+        #: batch counters :meth:`io_stats` surfaces.
+        self._io_drivers: dict[str, object] = {}
 
     def _setup_stack(self, cpu: CPU, index: int) -> None:
         top = STACK_TOP - index * STACK_STRIDE
@@ -263,6 +266,25 @@ class XContainer:
     def icache_stats(self) -> dict[str, float]:
         """Decode-cache counters aggregated over this container's vCPUs."""
         return self.xkernel.icache_summary()
+
+    def attach_io_driver(self, name: str, driver) -> None:
+        """Register a split I/O driver so :meth:`io_stats` can report it.
+
+        ``driver`` is anything whose ``stats`` has an ``as_dict()`` —
+        :class:`~repro.xen.drivers.SplitNetDriver` and
+        :class:`~repro.xen.blkdev.SplitBlockDriver` both qualify.
+        """
+        if name in self._io_drivers:
+            raise ValueError(f"I/O driver {name!r} already attached")
+        self._io_drivers[name] = driver
+
+    def io_stats(self) -> dict[str, dict[str, float]]:
+        """Per-driver ring/batch counters (``batches``, ``avg_batch_size``,
+        ``kicks_saved``, …), the I/O companion of :meth:`icache_stats`."""
+        return {
+            name: driver.stats.as_dict()
+            for name, driver in self._io_drivers.items()
+        }
 
     def syscall_reduction(self) -> float:
         """Fraction of syscall invocations served without a kernel crossing.

@@ -124,6 +124,15 @@ class VirtualNetwork:
             raise SocketError(errno.ENOTCONN)
         if count < 0:
             raise SocketError(errno.EINVAL)
+        # Fast path: one buffered chunk that fits the read — hand the
+        # bytes over without the copy loop (the common case on the HTTP
+        # request path, where each exchange is a single segment train).
+        if len(sock.rx) == 1 and len(sock.rx[0]) <= count:
+            chunk = sock.rx.popleft()
+            self._charge(
+                receiver_stack.request_response_cost_ns(0, len(chunk))
+            )
+            return chunk
         out = bytearray()
         while sock.rx and len(out) < count:
             chunk = sock.rx.popleft()
@@ -155,6 +164,13 @@ class SocketLayer:
             raise SocketError(errno.EBADF)
         return obj
 
+    def resolve(self, pid: int, fd: int) -> Socket:
+        """Resolve ``fd`` to its endpoint once, for callers that hold a
+        descriptor across many operations (in-kernel servers) and don't
+        want to pay the fd-table walk per I/O call.  The returned object
+        is live — ``close`` on the fd marks it CLOSED."""
+        return self._sock(pid, fd)
+
     def bind(self, pid: int, fd: int, address: Address) -> None:
         sock = self._sock(pid, fd)
         if sock.state is not SocketState.CREATED:
@@ -183,6 +199,21 @@ class SocketLayer:
     def connect(self, pid: int, fd: int, address: Address) -> None:
         sock = self._sock(pid, fd)
         self.network.connect(self.kernel.netstack, sock, address)
+
+    def has_data(self, pid: int, fd: int) -> bool:
+        """True when buffered bytes are waiting on ``fd`` (poll/epoll)."""
+        return bool(self._sock(pid, fd).rx)
+
+    def pending_connections(self, pid: int, fd: int) -> bool:
+        """True when ``accept`` would succeed on listener ``fd`` —
+        lets servers poll without paying an EAGAIN exception per idle
+        pass."""
+        return bool(self._sock(pid, fd).backlog)
+
+    def peer_closed(self, pid: int, fd: int) -> bool:
+        """True when the remote endpoint has closed (read would EOF)."""
+        peer = self._sock(pid, fd).peer
+        return peer is None or peer.state is SocketState.CLOSED
 
     def send(self, pid: int, fd: int, data: bytes) -> int:
         return self.network.send(

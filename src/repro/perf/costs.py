@@ -167,6 +167,17 @@ class CostModel:
     #: event channel, copy through the ring (amortized by ring batching).
     #: Paid by Xen-Containers and X-Containers.
     netfront_ns: float = 1200.0
+    #: Fixed cost of servicing one split-driver ring *batch*: the single
+    #: event-channel kick, the one shared pending-flag check, and the ring
+    #: push/reap bookkeeping.  Calibration invariant (asserted by
+    #: ``tests/xen/test_batching.py``): ``ring_batch_fixed_ns +
+    #: ring_per_desc_ns == netfront_ns`` so a batch of one descriptor
+    #: costs exactly the legacy per-request price and the Fig 3/8/9
+    #: shapes are unchanged.
+    ring_batch_fixed_ns: float = 900.0
+    #: Marginal cost per ring descriptor within a batch (grant-reference
+    #: bookkeeping plus one descriptor read/write on the shared ring).
+    ring_per_desc_ns: float = 300.0
     #: gVisor's user-space Go netstack per request.
     gvisor_netstack_ns: float = 9000.0
     #: Clear Containers' virtio-net inside a nested VM per request.

@@ -17,7 +17,12 @@ baselines (Xen-Container / LightVM, Xen PV & HVM instances in Fig 8) need:
 from repro.xen.hypervisor import Domain, DomainKind, XenHypervisor
 from repro.xen.events import EventChannelTable
 from repro.xen.grant_table import GrantTable
-from repro.xen.drivers import SplitNetDriver
+from repro.xen.drivers import (
+    BackendDeadError,
+    NotificationLost,
+    RingStats,
+    SplitNetDriver,
+)
 from repro.xen.scheduler import CreditScheduler, VCpu
 from repro.xen.toolstack import Toolstack
 from repro.xen.blanket import XenBlanket
@@ -35,6 +40,7 @@ from repro.xen.memory_mgmt import (
 )
 from repro.xen.xenstore import XenStore, XsTransaction
 from repro.xen.blkdev import (
+    BlockStats,
     BlockStore,
     SnapshotStore,
     SplitBlockDriver,
@@ -48,6 +54,9 @@ __all__ = [
     "EventChannelTable",
     "GrantTable",
     "SplitNetDriver",
+    "RingStats",
+    "BackendDeadError",
+    "NotificationLost",
     "CreditScheduler",
     "VCpu",
     "Toolstack",
@@ -62,6 +71,7 @@ __all__ = [
     "TranscendentMemory",
     "XenStore",
     "XsTransaction",
+    "BlockStats",
     "BlockStore",
     "SnapshotStore",
     "SplitBlockDriver",

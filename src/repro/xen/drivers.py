@@ -6,19 +6,31 @@
      (asynchronous buffer descriptor rings)."
 
 The model tracks ring occupancy, grant usage and event-channel kicks, and
-charges :attr:`CostModel.netfront_ns` per request pair plus per-byte copy
-costs — the network-path overhead Xen-Containers and X-Containers both pay
+charges per-batch plus per-descriptor ring costs and per-byte copy costs —
+the network-path overhead Xen-Containers and X-Containers both pay
 relative to native Docker.
+
+Batching (the real PV drivers' shape): the frontend *pushes* a whole
+train of descriptors onto the shared ring, notifies the backend with ONE
+event-channel kick, and *reaps* all completed responses in one pass.  A
+batch of N descriptors therefore costs one fixed ring service
+(:attr:`CostModel.ring_batch_fixed_ns`) plus N marginal descriptor costs
+(:attr:`CostModel.ring_per_desc_ns`) instead of N full per-request
+prices; :meth:`SplitNetDriver.transmit` is exactly a batch of one, so the
+legacy path and its costs are unchanged.
 
 Resilience: the frontend survives backend death, ring stalls, lost kicks
 and transient grant failures (all injectable via :mod:`repro.faults`) by
 reconnecting — tear down the dead ring, re-grant, re-map, re-bind — under
-a bounded :class:`~repro.faults.retry.RetryPolicy`.
+a bounded :class:`~repro.faults.retry.RetryPolicy`.  Fault hooks fire once
+per logical descriptor even on the batched path; a dropped kick loses the
+whole batch, which the retry loop resubmits in full.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.faults import sites as fault_sites
 from repro.faults.retry import RetryPolicy
@@ -48,6 +60,31 @@ class RingStats:
     ring_full_stalls: int = 0
     backend_deaths: int = 0
     backend_restarts: int = 0
+    #: Completed descriptor batches (a single transmit is a batch of one).
+    batches: int = 0
+    #: Event-channel kicks elided by batching (descriptors - batches).
+    kicks_saved: int = 0
+
+    @property
+    def avg_batch_size(self) -> float:
+        """Mean descriptors per completed batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.requests / self.batches
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "bytes_moved": self.bytes_moved,
+            "kicks": self.kicks,
+            "ring_full_stalls": self.ring_full_stalls,
+            "backend_deaths": self.backend_deaths,
+            "backend_restarts": self.backend_restarts,
+            "batches": self.batches,
+            "avg_batch_size": self.avg_batch_size,
+            "kicks_saved": self.kicks_saved,
+        }
 
 
 class SplitNetDriver:
@@ -91,57 +128,99 @@ class SplitNetDriver:
     def transmit(self, nbytes: int) -> float:
         """Send one request of ``nbytes`` and receive its response.
 
-        Returns the simulated cost.  If the ring is full the caller stalls
-        until the backend drains (charged as one ring-service latency).
-        Backend death, lost kicks and transient grant failures are retried
-        under :attr:`retry`; the reconnect path re-establishes the ring.
+        Exactly a batch of one descriptor — see :meth:`transmit_batch`;
+        the calibrated batch constants make the cost identical to the
+        pre-batching per-request price.
         """
         if nbytes < 0:
             raise ValueError(f"negative payload: {nbytes}")
         return self.retry.run(
-            lambda: self._transmit_once(nbytes),
+            lambda: self._transmit_batch_once((nbytes,)),
             retriable=(BackendDeadError, NotificationLost, GrantError),
             clock=self.clock,
             faults=self.faults,
             site=fault_sites.NET_BACKEND,
         )
 
-    def _transmit_once(self, nbytes: int) -> float:
+    def transmit_batch(self, sizes: Iterable[int]) -> float:
+        """Send a train of requests with ONE kick and reap all responses.
+
+        Pushes one descriptor per payload in ``sizes`` (ring-full stalls
+        are handled mid-push exactly like the single path), notifies the
+        backend once, and reaps every response in one pass.  Returns the
+        simulated cost.  Fault hooks fire per descriptor; backend death or
+        a lost kick fails the whole batch, which :attr:`retry` resubmits —
+        re-pushing a descriptor train is idempotent.
+        """
+        batch = tuple(sizes)
+        for nbytes in batch:
+            if nbytes < 0:
+                raise ValueError(f"negative payload: {nbytes}")
+        if not batch:
+            return 0.0
+        return self.retry.run(
+            lambda: self._transmit_batch_once(batch),
+            retriable=(BackendDeadError, NotificationLost, GrantError),
+            clock=self.clock,
+            faults=self.faults,
+            site=fault_sites.NET_BACKEND,
+        )
+
+    def _transmit_batch_once(self, batch: Sequence[int]) -> float:
         if not self.backend_alive:
             self._restart_backend()
-        cost = self.costs.netfront_ns + nbytes * self.costs.copy_per_byte_ns
-        if self.faults is not None:
-            fault = self.faults.fire(fault_sites.NET_BACKEND, bytes=nbytes)
-            if fault is not None and fault.kind == "kill":
-                self.backend_alive = False
-                self.stats.backend_deaths += 1
-                raise BackendDeadError(
-                    f"netback in domain {self.backend.domid} died mid-ring"
-                )
-            stall = self.faults.fire(fault_sites.NET_RING, bytes=nbytes)
-            if stall is not None and stall.kind == "stall":
-                self.stats.ring_full_stalls += 1
-                cost += self.costs.netfront_ns * max(1.0, stall.param)
-        if self._in_flight >= RING_SIZE:
-            self.stats.ring_full_stalls += 1
-            cost += self.costs.netfront_ns
-            self._in_flight = 0
-        self._in_flight += 1
+        cost = (
+            self.costs.ring_batch_fixed_ns
+            + len(batch) * self.costs.ring_per_desc_ns
+        )
+        pushed = 0
         try:
-            if not self.events.send(self._event_port):
-                raise NotificationLost(
-                    f"kick lost on port {self._event_port}"
-                )
+            for nbytes in batch:
+                cost += nbytes * self.costs.copy_per_byte_ns
+                if self.faults is not None:
+                    fault = self.faults.fire(
+                        fault_sites.NET_BACKEND, bytes=nbytes
+                    )
+                    if fault is not None and fault.kind == "kill":
+                        self.backend_alive = False
+                        self.stats.backend_deaths += 1
+                        raise BackendDeadError(
+                            f"netback in domain {self.backend.domid} died "
+                            f"mid-ring"
+                        )
+                    stall = self.faults.fire(
+                        fault_sites.NET_RING, bytes=nbytes
+                    )
+                    if stall is not None and stall.kind == "stall":
+                        self.stats.ring_full_stalls += 1
+                        cost += self.costs.netfront_ns * max(1.0, stall.param)
+                if self._in_flight >= RING_SIZE:
+                    self.stats.ring_full_stalls += 1
+                    cost += self.costs.netfront_ns
+                    self._in_flight = 0
+                self._in_flight += 1
+                pushed += 1
+            # One kick for the whole descriptor train; delivery of any
+            # other producers' pending events rides the same flush.
+            with self.events.batch():
+                if not self.events.send(self._event_port):
+                    raise NotificationLost(
+                        f"kick lost on port {self._event_port}"
+                    )
         except BaseException:
-            self._in_flight -= 1
+            # Unwind the push; the mid-push ring-full reset may have
+            # already zeroed the occupancy counter, so clamp at empty.
+            self._in_flight = max(0, self._in_flight - pushed)
             raise
-        self.events.drain(via_hypercall=False)
-        self.stats.requests += 1
-        self.stats.responses += 1
-        self.stats.bytes_moved += nbytes
+        # Reap: every response completes in the same service pass.
+        self.stats.requests += len(batch)
+        self.stats.responses += len(batch)
+        self.stats.bytes_moved += sum(batch)
+        self.stats.batches += 1
+        self.stats.kicks_saved += len(batch) - 1
         if self.clock is not None:
             self.clock.advance(cost)
-        self._in_flight -= 1
+        self._in_flight = max(0, self._in_flight - len(batch))
         return cost
 
     def _restart_backend(self) -> None:
@@ -169,6 +248,14 @@ class SplitNetDriver:
     def per_request_cost_ns(self, nbytes: int) -> float:
         """Pure cost query without charging (used by the macro models)."""
         return self.costs.netfront_ns + nbytes * self.costs.copy_per_byte_ns
+
+    def per_batch_cost_ns(self, sizes: Sequence[int]) -> float:
+        """Pure batched-cost query without charging or fault hooks."""
+        return (
+            self.costs.ring_batch_fixed_ns
+            + len(sizes) * self.costs.ring_per_desc_ns
+            + sum(sizes) * self.costs.copy_per_byte_ns
+        )
 
     def close(self) -> None:
         try:

@@ -8,12 +8,21 @@
 Stock PV guests pay that hypercall; the X-LibOS instead "emulates the
 interrupt stack frame when it sees any pending events and jumps directly
 into interrupt handlers" — modelled by draining with ``via_hypercall=False``.
+
+Interrupt coalescing: producers that raise many events back-to-back open a
+:meth:`EventChannelTable.batch` scope.  Inside the scope every ``send``
+only marks its port pending (the shared variable is set once and stays
+set); the single :meth:`flush` on scope exit checks the shared pending
+variable once and delivers everything, so a batch of N notifications costs
+one delivery pass instead of N — the §4.2 optimization generalized to the
+split-driver rings (see ``docs/io_batching.md``).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.faults import sites as fault_sites
 from repro.perf.clock import SimClock
@@ -50,6 +59,12 @@ class EventChannelTable:
         self.direct_deliveries = 0
         self.notifications_dropped = 0
         self.notifications_delayed = 0
+        #: Notifications absorbed into an open batch scope (their delivery
+        #: was deferred to the scope's single flush).
+        self.notifications_coalesced = 0
+        #: Completed batch-scope flushes.
+        self.flushes = 0
+        self._batch_depth = 0
 
     def bind(self, handler: Callable[[], None]) -> int:
         port = self._next_port
@@ -60,13 +75,54 @@ class EventChannelTable:
     def unbind(self, port: int) -> None:
         self._channels.pop(port, None)
 
+    # ------------------------------------------------------------------
+    # Batch scope (deferred / coalesced notification)
+    # ------------------------------------------------------------------
+    @property
+    def in_batch(self) -> bool:
+        return self._batch_depth > 0
+
+    @contextmanager
+    def batch(self, via_hypercall: bool = False) -> Iterator["EventChannelTable"]:
+        """Defer event delivery until scope exit.
+
+        Inside the scope ``send`` marks ports pending without delivering;
+        leaving the outermost scope performs one :meth:`flush` that checks
+        the shared pending variable once and delivers every accumulated
+        event.  Scopes nest: only the outermost exit flushes.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self.flush(via_hypercall=via_hypercall)
+
+    def flush(self, via_hypercall: bool = False) -> int:
+        """Deliver everything marked pending with ONE shared-flag check.
+
+        The stock PV path (``via_hypercall=True``) charges a single
+        hypercall for the whole batch; the X-LibOS path emulates one
+        interrupt stack frame per delivered event but shares the pending
+        check.  Returns the number of events delivered.
+        """
+        if not self.evtchn_upcall_pending:
+            return 0
+        self.flushes += 1
+        return self.drain(via_hypercall=via_hypercall)
+
     def send(self, port: int) -> bool:
         """Raise an event on ``port`` (from the hypervisor / another domain).
 
-        Returns True when the notification landed.  Under fault injection
-        a ``drop`` loses the notify (the caller must re-kick — the shared
-        pending flag never gets set) and a ``delay`` charges ``param`` ns
-        before delivery.
+        Returns True when the notification landed (delivery pending),
+        False when an injected ``drop`` lost it — the caller must re-kick;
+        the shared pending flag never gets set by a dropped notify.  An
+        injected ``delay`` charges ``param`` ns and increments
+        :attr:`notifications_delayed` before the notification lands; the
+        counter and charge behave identically whether the send happens
+        inside or outside a :meth:`batch` scope (inside a scope only the
+        *delivery* is deferred, never the fault accounting).
         """
         channel = self._channels.get(port)
         if channel is None:
@@ -81,6 +137,10 @@ class EventChannelTable:
                     self.notifications_delayed += 1
                     self._charge(fault.param)
         channel.pending += 1
+        if self._batch_depth > 0 and self.evtchn_upcall_pending:
+            # The shared variable is already set; this notify rides the
+            # batch's single flush for free.
+            self.notifications_coalesced += 1
         self.evtchn_upcall_pending = True
         return True
 
