@@ -38,6 +38,53 @@ class AnalysisReport:
             return True
         return self.differential is not None and not self.differential.ok
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (``repro analyze --format json``)."""
+        by_site: dict[int, list[Finding]] = {}
+        for finding in self.findings:
+            by_site.setdefault(finding.site, []).append(finding)
+        data: dict = {
+            "binary": self.binary_name,
+            "cfg": {
+                "blocks": len(self.cfg.blocks),
+                "edges": len(self.cfg.edges),
+                "instructions": len(self.cfg.instructions),
+                "undecodable_bytes": len(self.cfg.invalid_addrs),
+            },
+            "sites": [
+                {
+                    "addr": hex(site.syscall_addr),
+                    "pattern": site.pattern.value,
+                    "nr": site.nr,
+                    "abom_patchable": site.abom_patchable,
+                    "verdict": self._verdict(
+                        by_site.get(site.syscall_addr, [])
+                    ),
+                }
+                for site in self.sites
+            ],
+            "findings": [
+                {
+                    "severity": f.severity.name,
+                    "kind": f.kind,
+                    "site": hex(f.site),
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+            "has_unsafe": self.has_unsafe,
+        }
+        if self.differential is not None:
+            diff = self.differential
+            data["differential"] = {
+                "sites": len(diff.outcomes),
+                "exercised": sum(1 for o in diff.outcomes if o.executed),
+                "decision_mismatches": len(diff.decision_mismatches),
+                "byte_mismatch_regions": len(diff.byte_mismatches),
+                "ok": diff.ok,
+            }
+        return data
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------

@@ -8,6 +8,12 @@
     repro abom-demo              # patch a binary live, show the bytes
     repro analyze [example]      # static §4.4 patch-safety analysis
     repro chaos [scenario]       # deterministic fault-injection scenarios
+    repro metrics                # telemetry demo: registry snapshot
+    repro trace                  # telemetry demo: span timeline
+
+``analyze``, ``chaos``, ``metrics`` and ``trace`` share one output
+surface: ``--format {table,json}`` picks the rendering and
+``--output PATH`` redirects it to a file (default: stdout).
 
 (also reachable as ``python -m repro``)
 """
@@ -15,7 +21,31 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+#: Exit-code contract, shown in ``repro --help``.
+EXIT_CODES = """\
+exit codes:
+  0  success (analyze: all findings safe; chaos: all scenarios recovered)
+  1  gate failure (analyze: unsafe finding or differential mismatch;
+     chaos: unrecovered scenario or missing core-substrate coverage)
+  2  usage error (unknown subcommand/argument; raised by argparse)
+"""
+
+
+def _emit(args: argparse.Namespace, text: str) -> None:
+    """Write ``text`` to ``--output PATH`` (or stdout)."""
+    output = getattr(args, "output", None)
+    if output is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+
+
+def _json_text(payload: object) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -117,21 +147,33 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             f"unknown example {args.target!r} (known: {known})"
         )
     unsafe = 0
+    reports = []
     for example in selected:
         binary = example.build()
         report = analyze(
             binary,
             differential=example.runnable and not args.no_differential,
         )
-        print(report.render())
-        print()
+        reports.append(report)
         if report.has_unsafe:
             unsafe += 1
     total = len(selected)
-    print(
-        f"analyzed {total} binar{'y' if total == 1 else 'ies'}: "
-        f"{total - unsafe} safe, {unsafe} unsafe"
-    )
+    if args.format == "json":
+        _emit(args, _json_text({
+            "reports": [report.as_dict() for report in reports],
+            "analyzed": total,
+            "unsafe": unsafe,
+        }))
+    else:
+        lines = []
+        for report in reports:
+            lines.append(report.render())
+            lines.append("")
+        lines.append(
+            f"analyzed {total} binar{'y' if total == 1 else 'ies'}: "
+            f"{total - unsafe} safe, {unsafe} unsafe"
+        )
+        _emit(args, "\n".join(lines))
     return 1 if unsafe else 0
 
 
@@ -158,7 +200,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             )
         names = [args.scenario]
     report = run_scenarios(args.seed, names)
-    print(report.render(), end="")
+    if args.format == "json":
+        _emit(args, _json_text(report.as_dict()))
+    else:
+        _emit(args, report.render())
     if not report.all_recovered:
         return 1
     if names is None and not report.core_coverage_ok():
@@ -166,12 +211,61 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the deterministic telemetry demo and export its registry.
+
+    ``--format table`` renders the fixed-width metric table, ``--format
+    json`` the full :meth:`Telemetry.snapshot`; ``--prometheus``
+    switches to the Prometheus text exposition format instead.  Same
+    ``--seed`` ⇒ byte-identical output (the golden tests pin this).
+    """
+    from repro.obs.demo import run_demo
+
+    tel = run_demo(seed=args.seed, requests=args.requests)
+    if args.prometheus:
+        _emit(args, tel.prometheus_text())
+    elif args.format == "json":
+        _emit(args, _json_text(tel.snapshot()))
+    else:
+        _emit(args, tel.render_table())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the telemetry demo and export its span timeline.
+
+    ``--format table`` prints the span table; ``--format json`` emits
+    Chrome trace-event JSON loadable in about://tracing or Perfetto.
+    """
+    from repro.obs.demo import run_demo
+
+    tel = run_demo(seed=args.seed, requests=args.requests)
+    if args.format == "json":
+        _emit(args, tel.chrome_trace_json(pretty=args.pretty))
+    else:
+        _emit(args, tel.spans.render(limit=args.limit))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="X-Containers (ASPLOS'19) reproduction toolkit",
+        epilog=EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Shared output surface for analyze / chaos / metrics / trace.
+    common_output = argparse.ArgumentParser(add_help=False)
+    common_output.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output rendering (default: table)",
+    )
+    common_output.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the output to PATH instead of stdout",
+    )
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's tables/figures"
@@ -190,7 +284,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(func=cmd_abom_demo)
 
     analyze = sub.add_parser(
-        "analyze", help="static §4.4 patch-safety analysis + ABOM diff"
+        "analyze", help="static §4.4 patch-safety analysis + ABOM diff",
+        parents=[common_output],
     )
     analyze.add_argument(
         "target", nargs="?", default=None,
@@ -206,7 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=cmd_analyze)
 
     chaos = sub.add_parser(
-        "chaos", help="run deterministic fault-injection scenarios"
+        "chaos", help="run deterministic fault-injection scenarios",
+        parents=[common_output],
     )
     chaos.add_argument(
         "scenario", nargs="?", default=None,
@@ -220,6 +316,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the scenario catalog"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    metrics = sub.add_parser(
+        "metrics", help="telemetry demo: unified registry snapshot",
+        parents=[common_output],
+    )
+    metrics.add_argument(
+        "--seed", type=int, default=1234,
+        help="fault-plan seed; same seed replays byte-identically",
+    )
+    metrics.add_argument(
+        "--requests", type=int, default=8,
+        help="HTTP requests the demo workload issues",
+    )
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the Prometheus text exposition format",
+    )
+    metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="telemetry demo: span timeline / Chrome trace",
+        parents=[common_output],
+    )
+    trace.add_argument(
+        "--seed", type=int, default=1234,
+        help="fault-plan seed; same seed replays byte-identically",
+    )
+    trace.add_argument(
+        "--requests", type=int, default=8,
+        help="HTTP requests the demo workload issues",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=64,
+        help="max spans in the table rendering",
+    )
+    trace.add_argument(
+        "--pretty", action="store_true",
+        help="indent the Chrome trace JSON",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

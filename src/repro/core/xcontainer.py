@@ -49,6 +49,7 @@ class XContainer:
         memory_mb: int = 128,
         icache: bool = True,
         faults=None,
+        telemetry: bool = True,
     ) -> None:
         self.name = name
         self.vcpus = vcpus
@@ -79,6 +80,9 @@ class XContainer:
         #: name -> split driver (SplitNetDriver / SplitBlockDriver) whose
         #: batch counters :meth:`io_stats` surfaces.
         self._io_drivers: dict[str, object] = {}
+        #: Lazily-built :class:`repro.obs.Telemetry` (see :meth:`telemetry`).
+        self._telemetry = None
+        self._telemetry_enabled = telemetry
 
     def _setup_stack(self, cpu: CPU, index: int) -> None:
         top = STACK_TOP - index * STACK_STRIDE
@@ -106,6 +110,12 @@ class XContainer:
         self.cpus.append(cpu)
         if len(self.cpus) > self.vcpus:
             self.vcpus = len(self.cpus)
+        if self._telemetry is not None:
+            from repro.obs import wire
+
+            wire.wire_cpu(
+                self._telemetry.registry, cpu, index=len(self.cpus) - 1
+            )
         return cpu
 
     def run_concurrent(
@@ -175,6 +185,8 @@ class XContainer:
         self.libos.tracer = tracer
         if self.faults is not None:
             self.faults.tracer = tracer
+        if self._telemetry is not None:
+            self._telemetry.attach_tracer(tracer)
 
     def step(self, count: int = 1) -> int:
         """Execute up to ``count`` instructions; returns how many ran."""
@@ -263,12 +275,71 @@ class XContainer:
     def libos_stats(self):
         return self.libos.stats
 
+    def telemetry(self):
+        """This container's :class:`repro.obs.Telemetry` facade.
+
+        One registry behind every counter: icache, X-Kernel traps and
+        hypercalls, ABOM patch phases, LibOS syscall paths, attached
+        split-driver rings, and (when a fault engine is attached) the
+        fault-injection lifecycle.  Built lazily on first call — all
+        bindings read the substrate structs at collection time, so
+        enabling telemetry never changes simulated bytes or costs.
+        """
+        if not self._telemetry_enabled:
+            raise RuntimeError(
+                f"telemetry disabled for container {self.name!r} "
+                f"(constructed with telemetry=False)"
+            )
+        if self._telemetry is None:
+            from repro.obs import wire
+            from repro.obs.facade import Telemetry
+
+            tel = Telemetry(clock=self.clock, domain=self.name)
+            registry = tel.registry
+            for index, cpu in enumerate(self.cpus):
+                wire.wire_cpu(registry, cpu, index=index)
+            wire.wire_xkernel(registry, self.xkernel)
+            wire.wire_abom(registry, self.xkernel.abom)
+            wire.wire_libos(registry, self.libos)
+            if self.faults is not None:
+                wire.wire_faults(registry, self.faults)
+            for name, driver in self._io_drivers.items():
+                wire.wire_ring_driver(registry, name, driver)
+            if self.xkernel.tracer is not None:
+                tel.attach_tracer(self.xkernel.tracer)
+            self._telemetry = tel
+        return self._telemetry
+
     def icache_stats(self) -> dict[str, float]:
-        """Decode-cache counters aggregated over this container's vCPUs."""
-        return self.xkernel.icache_summary()
+        """Deprecated: query :meth:`telemetry` (``arch_icache_*_total``).
+
+        Shim kept for the legacy shape ``{hits, misses, invalidations,
+        hit_rate}``; resolves through the registry when telemetry is
+        enabled so the two surfaces cannot drift.
+        """
+        import warnings
+
+        warnings.warn(
+            "XContainer.icache_stats() is deprecated; use "
+            "telemetry().value('arch_icache_hits_total') etc. instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if not self._telemetry_enabled:
+            return self.xkernel._icache_summary()
+        from repro.obs import wire
+
+        tel = self.telemetry()
+        summary: dict[str, float] = {}
+        for key, metric in wire.ICACHE_LEGACY.items():
+            summary[key] = int(tel.value(metric))
+        total = summary["hits"] + summary["misses"]
+        summary["hit_rate"] = summary["hits"] / total if total else 0.0
+        return summary
 
     def attach_io_driver(self, name: str, driver) -> None:
-        """Register a split I/O driver so :meth:`io_stats` can report it.
+        """Register a split I/O driver so its ring counters surface in
+        :meth:`telemetry` (``xen_ring_*`` metrics, ``driver`` label).
 
         ``driver`` is anything whose ``stats`` has an ``as_dict()`` —
         :class:`~repro.xen.drivers.SplitNetDriver` and
@@ -277,14 +348,49 @@ class XContainer:
         if name in self._io_drivers:
             raise ValueError(f"I/O driver {name!r} already attached")
         self._io_drivers[name] = driver
+        if self._telemetry is not None:
+            from repro.obs import wire
+
+            wire.wire_ring_driver(self._telemetry.registry, name, driver)
 
     def io_stats(self) -> dict[str, dict[str, float]]:
-        """Per-driver ring/batch counters (``batches``, ``avg_batch_size``,
-        ``kicks_saved``, …), the I/O companion of :meth:`icache_stats`."""
-        return {
-            name: driver.stats.as_dict()
-            for name, driver in self._io_drivers.items()
-        }
+        """Deprecated: query :meth:`telemetry` (``xen_ring_*`` metrics).
+
+        Shim kept for the legacy per-driver dict shape; resolves through
+        the registry when telemetry is enabled.
+        """
+        import warnings
+
+        warnings.warn(
+            "XContainer.io_stats() is deprecated; use "
+            "telemetry().value('xen_ring_batches_total', driver=...) etc. "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if not self._telemetry_enabled:
+            return {
+                name: driver.stats.as_dict()
+                for name, driver in self._io_drivers.items()
+            }
+        from repro.obs import wire
+
+        tel = self.telemetry()
+        result: dict[str, dict[str, float]] = {}
+        for name, driver in self._io_drivers.items():
+            legacy = (
+                wire.BLK_RING_LEGACY
+                if hasattr(driver.stats, "reads")
+                else wire.NET_RING_LEGACY
+            )
+            stats: dict[str, float] = {}
+            for field_name, metric in legacy.items():
+                value = tel.value(metric, driver=name)
+                if field_name != "avg_batch_size":
+                    value = int(value)
+                stats[field_name] = value
+            result[name] = stats
+        return result
 
     def syscall_reduction(self) -> float:
         """Fraction of syscall invocations served without a kernel crossing.

@@ -87,6 +87,23 @@ class XKernel:
         self.cpus.append(cpu)
 
     def icache_summary(self) -> dict[str, float]:
+        """Deprecated: read ``arch_icache_*`` metrics from the telemetry
+        registry instead (see ``docs/telemetry.md``).
+
+        Thin shim over :meth:`_icache_summary`, kept for the legacy dict
+        shape ``{hits, misses, invalidations, hit_rate}``.
+        """
+        import warnings
+
+        warnings.warn(
+            "XKernel.icache_summary() is deprecated; query the telemetry "
+            "registry (arch_icache_*_total) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._icache_summary()
+
+    def _icache_summary(self) -> dict[str, float]:
         """Aggregate decode-cache counters across all attached vCPUs.
 
         ABOM's patches are stores to live text: every one of them shows up

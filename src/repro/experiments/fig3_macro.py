@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.cloud.instances import EC2, GCE, CloudSite
 from repro.experiments.report import ExperimentResult, Row
+from repro.obs.registry import Registry
 from repro.platforms.registry import cloud_configurations
 from repro.workloads.base import ServerModel
 from repro.workloads.clients import ApacheBench, MemtierBenchmark
@@ -21,48 +22,83 @@ WORKLOADS = [
 ]
 SITES = (EC2, GCE)
 
+#: Metric names the measurement phase publishes and the table phase reads.
+THROUGHPUT_METRIC = "experiment_fig3_throughput_rps"
+LATENCY_METRIC = "experiment_fig3_latency_ms"
 
-def _measure_site(site: CloudSite):
+
+def _measure_site(site: CloudSite, registry: Registry) -> list[str]:
+    """Drive every workload × configuration; publish absolute numbers as
+    ``experiment_fig3_*`` gauges (labels: site, workload, config).
+    Unsupported configurations publish nothing.  Returns the
+    configuration names in table order."""
     costs = site.costs()
     configs = cloud_configurations(costs)
-    results = {}
     for workload_name, profile, client_cls in WORKLOADS:
         client = client_cls(seed=f"fig3:{site.name}:{workload_name}")
-        per_config = {}
         for config_name, platform in configs.items():
             if not site.supports(platform):
-                per_config[config_name] = None
                 continue
             report = client.drive(ServerModel(platform, site), profile)
-            per_config[config_name] = report
-        results[workload_name] = per_config
-    return results
+            scope = registry.child(
+                site=site.name, workload=workload_name, config=config_name
+            )
+            scope.gauge(
+                THROUGHPUT_METRIC,
+                help="absolute mean throughput, Fig 3 macrobenchmarks",
+            ).set(report.mean_throughput)
+            scope.gauge(
+                LATENCY_METRIC,
+                help="absolute mean latency, Fig 3 macrobenchmarks",
+            ).set(report.mean_latency_ms)
+    return list(configs)
 
 
-def run() -> tuple[ExperimentResult, ExperimentResult]:
-    """Returns (relative throughput, relative latency) — Fig 3a and 3b."""
+def run(
+    registry: Registry | None = None,
+) -> tuple[ExperimentResult, ExperimentResult]:
+    """Returns (relative throughput, relative latency) — Fig 3a and 3b.
+
+    All numbers flow through ``registry`` (one is created when not
+    given): measurement publishes absolute gauges, and the normalized
+    tables below are computed purely from registry reads — callers can
+    pass their own registry to export the absolute values alongside.
+    """
+    if registry is None:
+        registry = Registry()
     throughput_rows = []
     latency_rows = []
     columns = []
     for site in SITES:
-        measured = _measure_site(site)
-        for workload_name, per_config in measured.items():
+        config_names = _measure_site(site, registry)
+        for workload_name, _profile, _client_cls in WORKLOADS:
             column = f"{site.name}/{workload_name}"
             columns.append(column)
-            docker = per_config["docker"]
-            for config_name, report in per_config.items():
+
+            def read(metric: str, config: str) -> float | None:
+                try:
+                    return registry.value(
+                        metric,
+                        site=site.name,
+                        workload=workload_name,
+                        config=config,
+                    )
+                except KeyError:
+                    return None
+
+            docker_tp = read(THROUGHPUT_METRIC, "docker")
+            docker_lat = read(LATENCY_METRIC, "docker")
+            for config_name in config_names:
                 t_row = _row(throughput_rows, config_name)
                 l_row = _row(latency_rows, config_name)
-                if report is None:
+                tp = read(THROUGHPUT_METRIC, config_name)
+                lat = read(LATENCY_METRIC, config_name)
+                if tp is None or lat is None:
                     t_row.values[column] = None
                     l_row.values[column] = None
                 else:
-                    t_row.values[column] = (
-                        report.mean_throughput / docker.mean_throughput
-                    )
-                    l_row.values[column] = (
-                        report.mean_latency_ms / docker.mean_latency_ms
-                    )
+                    t_row.values[column] = tp / docker_tp
+                    l_row.values[column] = lat / docker_lat
     throughput = ExperimentResult(
         "fig3a",
         "Figure 3a: relative throughput (normalized to patched Docker; "

@@ -178,20 +178,46 @@ def curve(config: str) -> list[CurvePoint]:
     return out
 
 
-def run() -> ExperimentResult:
-    curves = {
-        config: {p.n: p.throughput_rps for p in curve(config)}
-        for config in ("docker", "x-container", "xen-pv", "xen-hvm")
-    }
+#: Metric name the curve phase publishes and the table phase reads.
+SCALABILITY_METRIC = "experiment_fig8_throughput_rps"
+
+
+def run(registry=None) -> ExperimentResult:
+    """All numbers flow through ``registry`` (one is created when not
+    given): each curve point lands as an ``experiment_fig8_*`` gauge
+    (labels: config, n) and the table is built from registry reads —
+    configurations that cannot boot at an N publish nothing there."""
+    from repro.obs.registry import Registry
+
+    if registry is None:
+        registry = Registry()
+    configs = ("docker", "x-container", "xen-pv", "xen-hvm")
+    for config in configs:
+        for point in curve(config):
+            if point.throughput_rps is None:
+                continue
+            registry.gauge(
+                SCALABILITY_METRIC,
+                help="aggregate throughput vs container count, Fig 8",
+                config=config,
+                n=point.n,
+            ).set(point.throughput_rps)
+
+    def read(config: str, n: int) -> float | None:
+        try:
+            return registry.value(SCALABILITY_METRIC, config=config, n=n)
+        except KeyError:
+            return None
+
     rows = [
-        Row(str(n), {config: curves[config][n] for config in curves})
+        Row(str(n), {config: read(config, n) for config in configs})
         for n in N_VALUES
     ]
     return ExperimentResult(
         "fig8",
         "Figure 8: aggregate throughput vs number of containers "
         "(requests/s)",
-        list(curves),
+        list(configs),
         rows,
         notes="Xen PV stops at 250 and HVM at 200 instances (boot "
         "failures, §5.6)",

@@ -47,6 +47,39 @@ class ChaosReport:
             sum(r.fatal for r in self.results),
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready view (``repro chaos --format json``) — same data
+        as :meth:`render`, deterministically ordered."""
+        injected, retried, recovered, fatal = self.totals()
+        return {
+            "seed": self.seed,
+            "scenarios": [
+                {
+                    "name": r.name,
+                    "outcome": r.outcome,
+                    "injected": r.injected,
+                    "retried": r.retried,
+                    "recovered": r.recovered,
+                    "fatal": r.fatal,
+                    "injected_sites": list(r.injected_sites),
+                    "injected_substrates": list(r.injected_substrates),
+                    "details": {k: str(v) for k, v in r.details},
+                    "invariants": list(r.invariants),
+                    "failure": r.failure,
+                }
+                for r in self.results
+            ],
+            "totals": {
+                "injected": injected,
+                "retried": retried,
+                "recovered": recovered,
+                "fatal": fatal,
+            },
+            "substrates_injected": list(self.substrates_injected()),
+            "all_recovered": self.all_recovered,
+            "core_coverage_ok": self.core_coverage_ok(),
+        }
+
     def render(self) -> str:
         lines = [
             f"chaos run  seed={self.seed}  scenarios={len(self.results)}",

@@ -1,0 +1,167 @@
+"""Span-based tracing over the simulated clock.
+
+A span is a named interval of simulated time with a deterministic id and
+an explicit parent (the innermost span open when it started), layered on
+the pieces that already exist: :class:`~repro.perf.clock.SimClock`
+supplies timestamps and an optional :class:`~repro.perf.trace.Tracer`
+receives begin/end events under the ``span`` category, so ``repro
+trace`` output and the legacy flat trace stay consistent.
+
+Spans are cheap — two clock reads, one list append — and they never
+advance the clock, so tracing cannot perturb simulated results.  The
+recorder is bounded like the Tracer's ring: past ``capacity`` finished
+spans the oldest are dropped (counted in :attr:`SpanRecorder.dropped`).
+
+Export: :func:`repro.obs.exporters.chrome_trace_json` renders finished
+spans in the Chrome ``about://tracing`` / Perfetto event format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.clock import SimClock
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span (ids are per-recorder, deterministic)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_ns: float
+    end_ns: float
+    labels: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class _ActiveSpan:
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_ns: float
+    labels: tuple[tuple[str, str], ...]
+
+
+class SpanRecorder:
+    """Collects spans against one clock; shared across a registry tree."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        tracer=None,
+        capacity: int = 65536,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.clock = clock
+        #: Optional :class:`repro.perf.trace.Tracer` receiving span
+        #: begin/end under the ``span`` category.
+        self.tracer = tracer
+        self.capacity = capacity
+        self.finished: list[Span] = []
+        self.dropped = 0
+        self._stack: list[_ActiveSpan] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------
+    def begin(self, name: str, **labels: object) -> _ActiveSpan:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = _ActiveSpan(
+            span_id=self._next_id,
+            parent_id=parent,
+            name=name,
+            start_ns=self.clock.now_ns,
+            labels=tuple(
+                (k, str(v)) for k, v in sorted(labels.items())
+            ),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        if self.tracer is not None:
+            self.tracer.emit("span", f"{name}.begin", span_id=span.span_id)
+        return span
+
+    def end(self, active: _ActiveSpan) -> Span:
+        if not self._stack or self._stack[-1] is not active:
+            raise RuntimeError(
+                f"span {active.name!r} ended out of order"
+            )
+        self._stack.pop()
+        span = Span(
+            span_id=active.span_id,
+            parent_id=active.parent_id,
+            name=active.name,
+            start_ns=active.start_ns,
+            end_ns=self.clock.now_ns,
+            labels=active.labels,
+        )
+        if len(self.finished) >= self.capacity:
+            self.dropped += 1
+            del self.finished[0]
+        self.finished.append(span)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "span",
+                f"{span.name}.end",
+                span_id=span.span_id,
+                dur_ns=span.duration_ns,
+            )
+        return span
+
+    def span(self, name: str, **labels: object) -> "_SpanContext":
+        """Context manager: ``with recorder.span("netfront.tx"): ...``."""
+        return _SpanContext(self, name, labels)
+
+    # -- queries -------------------------------------------------------
+    def spans(self, name: str | None = None) -> list[Span]:
+        if name is None:
+            return list(self.finished)
+        return [s for s in self.finished if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.finished if s.parent_id == span.span_id]
+
+    def total_ns(self, name: str) -> float:
+        return sum(s.duration_ns for s in self.spans(name))
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self.dropped = 0
+
+    def render(self, limit: int = 50) -> str:
+        """Deterministic fixed-width span table (``repro trace``)."""
+        lines = [
+            f"{'id':>6} {'parent':>6} {'start us':>14} {'dur us':>12}  name",
+        ]
+        for span in self.finished[-limit:]:
+            parent = str(span.parent_id) if span.parent_id else "-"
+            labels = " ".join(f"{k}={v}" for k, v in span.labels)
+            name = f"{span.name} {labels}".rstrip()
+            lines.append(
+                f"{span.span_id:>6} {parent:>6} "
+                f"{span.start_ns / 1e3:>14.3f} "
+                f"{span.duration_ns / 1e3:>12.3f}  {name}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _SpanContext:
+    recorder: SpanRecorder
+    name: str
+    labels: dict
+    finished: Span | None = field(default=None)
+    _active: _ActiveSpan | None = field(default=None)
+
+    def __enter__(self) -> "_SpanContext":
+        self._active = self.recorder.begin(self.name, **self.labels)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.finished = self.recorder.end(self._active)

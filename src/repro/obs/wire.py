@@ -1,0 +1,371 @@
+"""Substrate → registry bindings (the naming authority).
+
+One function per substrate, each registering *bound* instruments that
+read the substrate's existing stats struct lazily at collection time —
+the hot paths keep their plain attribute increments, so wiring telemetry
+cannot change simulated bytes or costs.  Everything here is duck-typed:
+this module imports no substrate code, substrates call in through their
+``bind_telemetry(registry)`` methods (or the :class:`~repro.core.
+xcontainer.XContainer` constructor does it for them).
+
+The metric names below are the single source of truth for the
+``layer_component_unit`` convention documented in ``docs/telemetry.md``;
+the legacy-accessor shims (``XContainer.icache_stats()`` et al.) resolve
+their dict keys through the ``*_LEGACY`` tables so old and new surfaces
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Registry
+
+# -- legacy-accessor key maps (old dict key -> metric name) -----------------
+
+NET_RING_LEGACY: dict[str, str] = {
+    "requests": "xen_ring_requests_total",
+    "responses": "xen_ring_responses_total",
+    "bytes_moved": "xen_ring_bytes_moved_total",
+    "kicks": "xen_ring_kicks_total",
+    "ring_full_stalls": "xen_ring_full_stalls_total",
+    "backend_deaths": "xen_ring_backend_deaths_total",
+    "backend_restarts": "xen_ring_backend_restarts_total",
+    "batches": "xen_ring_batches_total",
+    "avg_batch_size": "xen_ring_avg_batch_size",
+    "kicks_saved": "xen_ring_kicks_saved_total",
+}
+
+BLK_RING_LEGACY: dict[str, str] = {
+    "reads": "xen_ring_reads_total",
+    "writes": "xen_ring_writes_total",
+    "bytes_moved": "xen_ring_bytes_moved_total",
+    "backend_deaths": "xen_ring_backend_deaths_total",
+    "backend_restarts": "xen_ring_backend_restarts_total",
+    "ring_stalls": "xen_ring_full_stalls_total",
+    "batches": "xen_ring_batches_total",
+    "avg_batch_size": "xen_ring_avg_batch_size",
+    "kicks_saved": "xen_ring_kicks_saved_total",
+}
+
+ICACHE_LEGACY: dict[str, str] = {
+    "hits": "arch_icache_hits_total",
+    "misses": "arch_icache_misses_total",
+    "invalidations": "arch_icache_invalidations_total",
+}
+
+
+# -- arch -------------------------------------------------------------------
+
+
+def wire_cpu(registry: Registry, cpu, index: int) -> None:
+    """Decode-cache counters of one vCPU (``cpu`` label = its index)."""
+    stats = cpu.icache_stats
+    registry.bind(
+        "arch_icache_hits_total",
+        lambda: stats.hits,
+        help="instructions executed from cached decoded blocks",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_icache_misses_total",
+        lambda: stats.misses,
+        help="basic-block decode cache fills",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_icache_invalidations_total",
+        lambda: stats.invalidations,
+        help="cached blocks dropped by stores to their text pages",
+        cpu=index,
+    )
+
+
+# -- core -------------------------------------------------------------------
+
+
+def wire_xkernel(registry: Registry, xkernel) -> None:
+    stats = xkernel.stats
+    registry.bind(
+        "core_xkernel_syscalls_trapped_total",
+        lambda: stats.syscalls_trapped,
+        help="syscall instructions that trapped into the X-Kernel",
+    )
+    registry.bind(
+        "core_xkernel_ud_traps_total",
+        lambda: stats.ud_traps,
+        help="#UD traps (jumps into patched call tails, section 4.4)",
+    )
+    registry.bind(
+        "core_xkernel_pt_updates_total",
+        lambda: stats.pt_updates,
+        help="validated page-table update entries",
+    )
+    registry.bind_family(
+        "core_hypercalls_total",
+        "name",
+        lambda: stats.hypercalls,
+        help="validated hypercalls by name",
+    )
+
+
+def wire_abom(registry: Registry, abom) -> None:
+    stats = abom.stats
+    registry.bind_family(
+        "core_abom_patches_total",
+        "phase",
+        lambda: {
+            "7byte": stats.patches_7byte,
+            "9byte": stats.patches_9byte,
+            "go": stats.patches_go,
+        },
+        help="syscall sites patched online, by pattern phase (section 4.4)",
+    )
+    registry.bind(
+        "core_abom_patch_failures_total",
+        lambda: stats.patch_failures,
+        help="patch attempts abandoned (lost cmpxchg or bad window)",
+    )
+    registry.bind(
+        "core_abom_unrecognized_sites_total",
+        lambda: stats.unrecognized_sites,
+        help="trapped sites matching no ABOM pattern",
+    )
+    registry.bind(
+        "core_abom_ud_fixups_total",
+        lambda: stats.ud_fixups,
+        help="jumps into a patched tail fixed up by RIP rewind",
+    )
+    registry.bind(
+        "core_abom_cmpxchg_contentions_total",
+        lambda: stats.cmpxchg_contentions,
+        help="cmpxchg patch losses to a racing vCPU",
+    )
+
+
+def wire_libos(registry: Registry, libos) -> None:
+    stats = libos.stats
+    registry.bind_family(
+        "core_libos_syscalls_total",
+        "path",
+        lambda: {
+            "lightweight": stats.lightweight_syscalls,
+            "forwarded": stats.forwarded_syscalls,
+        },
+        help="syscalls served by the X-LibOS, by entry path",
+    )
+    registry.bind(
+        "core_libos_return_address_skips_total",
+        lambda: stats.return_address_skips,
+        help="dead syscall/jmp bytes skipped at the return address",
+    )
+    registry.bind(
+        "core_libos_user_mode_irets_total",
+        lambda: stats.user_mode_irets,
+        help="iret returns handled in user mode (no hypercall)",
+    )
+    registry.bind(
+        "core_libos_events_delivered_total",
+        lambda: stats.events_delivered,
+        help="events delivered in user mode (no hypercall)",
+    )
+
+
+# -- xen --------------------------------------------------------------------
+
+
+def wire_ring_driver(registry: Registry, name: str, driver) -> None:
+    """Either split-driver flavour; fields resolved via the legacy maps."""
+    stats = driver.stats
+    legacy = (
+        BLK_RING_LEGACY if hasattr(stats, "reads") else NET_RING_LEGACY
+    )
+    for field, metric in legacy.items():
+        kind = "gauge" if metric == "xen_ring_avg_batch_size" else "counter"
+        registry.bind(
+            metric,
+            # bind the field name, not the loop variable
+            (lambda s=stats, f=field: getattr(s, f)),
+            help="split-driver ring counters (see docs/io_batching.md)",
+            kind=kind,
+            driver=name,
+        )
+
+
+def wire_hypercall_table(registry: Registry, table) -> None:
+    """Per-name counts of a stock-Xen :class:`HypercallTable`."""
+    registry.bind_family(
+        "xen_hypercalls_total",
+        "name",
+        lambda: dict(sorted(table.counts.items())),
+        help="stock-Xen hypercalls dispatched, by name",
+    )
+
+
+def wire_events(registry: Registry, events) -> None:
+    registry.bind(
+        "xen_evtchn_hypercall_deliveries_total",
+        lambda: events.hypercall_deliveries,
+        help="event batches delivered via the stock PV hypercall path",
+    )
+    registry.bind(
+        "xen_evtchn_direct_deliveries_total",
+        lambda: events.direct_deliveries,
+        help="events delivered by the X-LibOS direct jump (section 4.2)",
+    )
+    registry.bind(
+        "xen_evtchn_notifications_coalesced_total",
+        lambda: events.notifications_coalesced,
+        help="notifications absorbed into an open batch scope",
+    )
+    registry.bind(
+        "xen_evtchn_flushes_total",
+        lambda: events.flushes,
+        help="batch-scope flushes (one shared pending check each)",
+    )
+    registry.bind(
+        "xen_evtchn_notifications_dropped_total",
+        lambda: events.notifications_dropped,
+        help="injected notification drops",
+    )
+    registry.bind(
+        "xen_evtchn_notifications_delayed_total",
+        lambda: events.notifications_delayed,
+        help="injected notification delays",
+    )
+
+
+def wire_grants(registry: Registry, grants) -> None:
+    registry.bind(
+        "xen_grant_copies_total",
+        lambda: grants.copies,
+        help="logical GNTTABOP_copy operations",
+    )
+    registry.bind(
+        "xen_grant_batched_copies_total",
+        lambda: grants.batched_copies,
+        help="vectorized copy hypercalls (one per batch)",
+    )
+    registry.bind(
+        "xen_grant_copy_hypercalls_saved_total",
+        lambda: grants.copy_hypercalls_saved,
+        help="per-copy hypercalls elided by batching",
+    )
+    registry.bind(
+        "xen_grant_map_failures_total",
+        lambda: grants.map_failures,
+        help="transient grant map failures",
+    )
+    registry.bind(
+        "xen_grant_copy_failures_total",
+        lambda: grants.copy_failures,
+        help="transient grant copy failures",
+    )
+    registry.bind(
+        "xen_grant_active",
+        lambda: grants.active_grants,
+        help="grants currently issued",
+        kind="gauge",
+    )
+
+
+def wire_scheduler(registry: Registry, scheduler) -> None:
+    registry.bind(
+        "xen_sched_switches_total",
+        lambda: scheduler.switches,
+        help="vCPU context switches charged by the credit scheduler",
+    )
+    registry.bind(
+        "xen_sched_stall_events_total",
+        lambda: scheduler.stall_events,
+        help="injected vCPU stalls",
+    )
+    registry.bind(
+        "xen_sched_storm_events_total",
+        lambda: scheduler.storm_events,
+        help="injected interrupt storms",
+    )
+    registry.bind(
+        "xen_sched_runnable",
+        lambda: len(scheduler.runnable),
+        help="currently runnable vCPUs",
+        kind="gauge",
+    )
+
+
+# -- guest / net ------------------------------------------------------------
+
+
+def wire_netstack(registry: Registry, netstack) -> None:
+    stats = netstack.stats
+    registry.bind(
+        "net_stack_requests_total",
+        lambda: stats.requests,
+        help="request/response pairs priced by the flow-level stack",
+    )
+    registry.bind(
+        "net_stack_bytes_in_total", lambda: stats.bytes_in,
+        help="payload bytes into the stack",
+    )
+    registry.bind(
+        "net_stack_bytes_out_total", lambda: stats.bytes_out,
+        help="payload bytes out of the stack",
+    )
+    registry.bind(
+        "net_stack_connections_total", lambda: stats.connections,
+        help="TCP connection setups",
+    )
+    registry.bind(
+        "net_stack_retransmits_total", lambda: stats.retransmits,
+        help="segments retransmitted after injected loss",
+    )
+    registry.bind(
+        "net_stack_duplicates_total", lambda: stats.duplicates,
+        help="injected duplicate segments recognized and dropped",
+    )
+    registry.bind(
+        "net_stack_reorders_total", lambda: stats.reorders,
+        help="injected out-of-order segments re-queued",
+    )
+
+
+def wire_http_server(registry: Registry, server) -> None:
+    stats = server.stats
+    registry.bind(
+        "net_http_requests_total",
+        lambda: stats.requests,
+        help="HTTP requests served by the functional static server",
+    )
+    registry.bind(
+        "net_http_errors_total",
+        lambda: stats.errors,
+        help="HTTP 4xx responses",
+    )
+    registry.bind(
+        "net_http_bytes_served_total",
+        lambda: stats.bytes_served,
+        help="response body bytes served",
+    )
+
+
+# -- faults -----------------------------------------------------------------
+
+_FAULT_LIFECYCLE = (
+    ("occurrences", "faults_occurrences_total",
+     "occurrences of injectable operations, by site"),
+    ("injected", "faults_injected_total", "faults injected, by site"),
+    ("retried", "faults_retried_total", "retry attempts, by site"),
+    ("recovered", "faults_recovered_total", "recoveries, by site"),
+    ("fatal", "faults_fatal_total", "unrecovered failures, by site"),
+)
+
+
+def wire_faults(registry: Registry, engine) -> None:
+    for field, metric, help_text in _FAULT_LIFECYCLE:
+        registry.bind_family(
+            metric,
+            "site",
+            (lambda f=field, e=engine: {
+                site: getattr(counters, f)
+                for site, counters in sorted(e.counters.items())
+            }),
+            help=help_text,
+        )

@@ -53,6 +53,28 @@ class Tracer:
         self.dropped = 0
         self._overflow_warned = False
 
+    @property
+    def capacity(self) -> int:
+        """Ring size; assign a larger value to grow the buffer live."""
+        assert self._events.maxlen is not None
+        return self._events.maxlen
+
+    @capacity.setter
+    def capacity(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        if capacity == self._events.maxlen:
+            return
+        grew = capacity > self._events.maxlen
+        # deque maxlen is immutable: rebuild, keeping the newest events.
+        self._events = deque(self._events, maxlen=capacity)
+        if grew:
+            # Headroom exists again — re-arm the warn-once flag so the
+            # *next* overflow episode is reported too (previously only
+            # clear() re-armed it, so a raised capacity overflowed
+            # silently).
+            self._overflow_warned = False
+
     def emit(self, category: str, name: str, **detail) -> None:
         if not self.enabled:
             return

@@ -39,8 +39,10 @@ class FunctionalWrk:
         server_device: NetDevice = NetDevice.BRIDGE,
         page_bytes: int = 4096,
         path: str = "/index.html",
+        clock: SimClock | None = None,
+        telemetry=None,
     ) -> None:
-        self.clock = SimClock()
+        self.clock = clock if clock is not None else SimClock()
         self.network = VirtualNetwork(clock=self.clock)
         server_kernel = GuestKernel(clock=self.clock,
                                     net_device=server_device)
@@ -51,19 +53,45 @@ class FunctionalWrk:
         self.client = HttpClient(
             client_kernel, self.network, self.server.handle_one
         )
+        #: Optional :class:`repro.obs.Telemetry` (or scoped registry);
+        #: when set, :meth:`run` records a per-request latency histogram
+        #: and an ``http.request`` span per request, and the server's and
+        #: server kernel netstack's counters are bound lazily.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            from repro.obs import wire
+
+            registry = getattr(telemetry, "registry", telemetry)
+            wire.wire_http_server(registry, self.server)
+            wire.wire_netstack(registry, server_kernel.netstack)
 
     def run(self, requests: int = 100) -> WrkRunReport:
         if requests < 1:
             raise ValueError(f"requests must be >= 1: {requests}")
         latencies = RunStats("us")
+        latency_hist = None
+        if self.telemetry is not None:
+            latency_hist = self.telemetry.histogram(
+                "net_http_request_latency_ns",
+                help="simulated end-to-end HTTP request latency",
+            )
         errors = 0
         start_ns = self.clock.now_ns
         for _ in range(requests):
             before = self.clock.now_ns
-            status, _body = self.client.get(("10.0.0.1", 80), self.path)
+            if self.telemetry is not None:
+                with self.telemetry.span("http.request", path=self.path):
+                    status, _body = self.client.get(
+                        ("10.0.0.1", 80), self.path
+                    )
+            else:
+                status, _body = self.client.get(("10.0.0.1", 80), self.path)
             if status != 200:
                 errors += 1
-            latencies.add((self.clock.now_ns - before) / 1e3)
+            latency = self.clock.now_ns - before
+            latencies.add(latency / 1e3)
+            if latency_hist is not None:
+                latency_hist.observe(latency)
         duration_ns = self.clock.now_ns - start_ns
         return WrkRunReport(
             requests=requests,

@@ -159,6 +159,12 @@ class SplitBlockDriver:
         self.stats = BlockStats()
         self.backend_alive = True
 
+    def bind_telemetry(self, registry, name: str = "blk") -> None:
+        """Expose the ``xen_ring_*`` metrics with ``driver=name``."""
+        from repro.obs import wire
+
+        wire.wire_ring_driver(registry, name, self)
+
     def _ring_entry(self, op: str) -> None:
         """Fault hook at ring submission; no-op on the native path."""
         if not self.split:

@@ -66,6 +66,12 @@ class EventChannelTable:
         self.flushes = 0
         self._batch_depth = 0
 
+    def bind_telemetry(self, registry) -> None:
+        """Expose the ``xen_evtchn_*`` metrics on ``registry``."""
+        from repro.obs import wire
+
+        wire.wire_events(registry, self)
+
     def bind(self, handler: Callable[[], None]) -> int:
         port = self._next_port
         self._next_port += 1

@@ -61,6 +61,12 @@ class GrantTable:
         #: Per-copy hypercalls saved by batching.
         self.copy_hypercalls_saved = 0
 
+    def bind_telemetry(self, registry) -> None:
+        """Expose the ``xen_grant_*`` metrics on ``registry``."""
+        from repro.obs import wire
+
+        wire.wire_grants(registry, self)
+
     def grant_access(
         self, owner_domid: int, page_addr: int, readonly: bool = False
     ) -> int:

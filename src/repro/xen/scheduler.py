@@ -53,6 +53,19 @@ class CreditScheduler:
         #: Scheduler faults auto-heal at the next interval; this carries
         #: the recovery count across the call boundary.
         self._pending_recoveries = 0
+        #: Optional telemetry histogram of per-interval switch overhead
+        #: (set by :meth:`bind_telemetry`; pure observation, never charged).
+        self._overhead_hist = None
+
+    def bind_telemetry(self, registry) -> None:
+        """Expose ``xen_sched_*`` metrics plus an overhead histogram."""
+        from repro.obs import wire
+
+        wire.wire_scheduler(registry, self)
+        self._overhead_hist = registry.histogram(
+            "xen_sched_overhead_ns",
+            help="per-interval vCPU switch overhead (oversubscribed only)",
+        )
 
     def add_vcpu(self, domid: int, weight: int = 256) -> VCpu:
         vcpu = VCpu(len(self._vcpus), domid, weight)
@@ -124,6 +137,8 @@ class CreditScheduler:
             overhead = quanta * self.switch_cost_ns()
             self.switches += int(quanta)
             total_capacity = max(0.0, total_capacity - overhead)
+            if self._overhead_hist is not None:
+                self._overhead_hist.observe(overhead)
         total_weight = sum(v.weight for v in runnable)
         shares: dict[int, float] = {}
         for vcpu in runnable:

@@ -1,0 +1,111 @@
+"""Property: telemetry is observation-only.
+
+Wiring the registry, taking snapshots, exporting — none of it may change
+simulated results.  Hypothesis generates random programs and descriptor
+trains; each runs twice (telemetry on, with exports taken mid-flight, vs
+``telemetry=False``) and every simulated number must match exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.assembler import Assembler
+from repro.arch.registers import Reg
+from repro.core.xcontainer import XContainer
+from repro.core.xlibos import CountingServices
+from repro.obs.registry import Registry
+
+OPS = st.lists(
+    st.sampled_from(("inc", "dec", "sys_eax", "sys_rax")),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_program(ops, iters):
+    asm = Assembler(base=0x400000)
+    asm.mov_imm32(Reg.RBX, iters)
+    asm.mov_imm32(Reg.RCX, 0)
+    asm.label("loop")
+    for index, op in enumerate(ops):
+        if op == "inc":
+            asm.inc(Reg.RCX)
+        elif op == "dec":
+            asm.dec(Reg.RCX)
+        elif op == "sys_eax":
+            asm.syscall_site(39, style="mov_eax", symbol=f"s{index}")
+        else:
+            asm.syscall_site(15, style="mov_rax", symbol=f"s{index}")
+    asm.dec(Reg.RBX)
+    asm.jne("loop")
+    asm.hlt()
+    return asm.build("prop")
+
+
+class TestTelemetryNeutrality:
+    @settings(max_examples=20, deadline=None)
+    @given(ops=OPS, iters=st.integers(min_value=1, max_value=4))
+    def test_random_programs_unchanged_by_telemetry(self, ops, iters):
+        binary = build_program(ops, iters)
+
+        def run(telemetry_on):
+            xc = XContainer(
+                CountingServices(), telemetry=telemetry_on
+            )
+            if telemetry_on:
+                tel = xc.telemetry()  # wire everything up front
+            result = xc.run(binary)
+            if telemetry_on:
+                # Exports mid-workload must be pure reads too.
+                tel.snapshot()
+                tel.prometheus_text()
+                tel.render_table()
+            return (
+                result.instructions,
+                result.elapsed_ns,
+                result.exit_rax,
+                xc.clock.now_ns,
+                xc.libos.stats.lightweight_syscalls,
+                xc.libos.stats.forwarded_syscalls,
+                xc.abom_stats.total_patches,
+            )
+
+        assert run(True) == run(False)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trains=st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=9000),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_net_rings_unchanged_by_telemetry(self, trains):
+        from repro.xen.drivers import SplitNetDriver
+        from repro.xen.events import EventChannelTable
+        from repro.xen.hypervisor import DomainKind, XenHypervisor
+
+        def run(wired):
+            xen = XenHypervisor()
+            guest = xen.create_domain("guest")
+            backend = xen.create_domain("backend", DomainKind.DRIVER)
+            events = EventChannelTable(xen.costs, xen.clock)
+            driver = SplitNetDriver(
+                guest, backend, xen.grants, events, xen.costs, xen.clock
+            )
+            registry = None
+            if wired:
+                registry = Registry()
+                driver.bind_telemetry(registry, "eth0")
+                events.bind_telemetry(registry)
+                xen.grants.bind_telemetry(registry)
+            costs = [driver.transmit_batch(train) for train in trains]
+            if wired:
+                registry.snapshot()
+            return costs, xen.clock.now_ns, driver.stats.as_dict()
+
+        assert run(True) == run(False)

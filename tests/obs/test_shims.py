@@ -1,0 +1,138 @@
+"""Legacy-accessor shims: exact dict shapes, DeprecationWarning, parity.
+
+The redesigned surface is ``XContainer.telemetry()``; the old accessors
+must keep returning byte-for-byte what they always did (resolved through
+the registry, so the two surfaces cannot drift) while warning.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.xcontainer import XContainer
+from repro.core.xlibos import CountingServices
+from repro.workloads.unixbench import build_syscall_bench
+from repro.xen.blkdev import BlockStore, SplitBlockDriver
+from repro.xen.drivers import SplitNetDriver
+from repro.xen.events import EventChannelTable
+from repro.xen.hypervisor import DomainKind, XenHypervisor
+
+
+def make_net_driver():
+    xen = XenHypervisor()
+    guest = xen.create_domain("guest")
+    backend = xen.create_domain("backend", DomainKind.DRIVER)
+    events = EventChannelTable(xen.costs, xen.clock)
+    return SplitNetDriver(
+        guest, backend, xen.grants, events, xen.costs, xen.clock
+    )
+
+
+def run_workload(**kwargs):
+    xc = XContainer(CountingServices(), **kwargs)
+    xc.run(build_syscall_bench(10))
+    return xc
+
+
+class TestIcacheShim:
+    def test_emits_deprecation_warning(self):
+        xc = run_workload()
+        with pytest.warns(DeprecationWarning, match="icache_stats"):
+            xc.icache_stats()
+
+    def test_exact_legacy_shape_via_registry(self):
+        xc = run_workload()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = xc.icache_stats()
+        direct = xc.xkernel._icache_summary()
+        assert shimmed == direct
+        assert set(shimmed) == {
+            "hits", "misses", "invalidations", "hit_rate"
+        }
+        assert isinstance(shimmed["hits"], int)
+
+    def test_telemetry_disabled_falls_back_to_structs(self):
+        xc = run_workload(telemetry=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert xc.icache_stats() == xc.xkernel._icache_summary()
+        with pytest.raises(RuntimeError):
+            xc.telemetry()
+
+    def test_xkernel_summary_shim_warns_and_matches(self):
+        xc = run_workload()
+        with pytest.warns(DeprecationWarning, match="icache_summary"):
+            assert xc.xkernel.icache_summary() == (
+                xc.xkernel._icache_summary()
+            )
+
+
+class TestIoStatsShim:
+    def make_container(self):
+        xc = XContainer(CountingServices())
+        net = make_net_driver()
+        net.transmit_batch([100, 200, 300])
+        net.transmit(50)
+        xc.attach_io_driver("eth0", net)
+        blk = SplitBlockDriver(BlockStore(64))
+        blk.write(0, b"s" * 512)
+        blk.read(0)
+        xc.attach_io_driver("xvda", blk)
+        return xc, net, blk
+
+    def test_emits_deprecation_warning(self):
+        xc, _, _ = self.make_container()
+        with pytest.warns(DeprecationWarning, match="io_stats"):
+            xc.io_stats()
+
+    def test_exact_legacy_shapes_via_registry(self):
+        xc, net, blk = self.make_container()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = xc.io_stats()
+        assert shimmed == {
+            "eth0": net.stats.as_dict(),
+            "xvda": blk.stats.as_dict(),
+        }
+        # counters stay ints; the ratio stays a float
+        assert isinstance(shimmed["eth0"]["requests"], int)
+        assert isinstance(shimmed["eth0"]["avg_batch_size"], float)
+
+    def test_driver_attached_after_telemetry_is_wired(self):
+        xc = XContainer(CountingServices())
+        tel = xc.telemetry()  # built before any driver exists
+        net = make_net_driver()
+        net.transmit_batch([10, 20])
+        xc.attach_io_driver("late0", net)
+        assert tel.value("xen_ring_batches_total", driver="late0") == 1
+
+    def test_one_snapshot_reports_every_surface(self):
+        """The acceptance query: one structure, all the counters."""
+        from repro.faults import sites
+        from repro.faults.plan import FaultPlan, FaultSpec, Nth
+
+        engine = FaultPlan(
+            (FaultSpec(sites.NET_BACKEND, "kill", Nth(1)),), seed=3
+        ).compile()
+        xc = XContainer(CountingServices(), faults=engine)
+        xc.run(build_syscall_bench(5))
+        net = make_net_driver()
+        net.faults = engine
+        net.transmit(100)
+        xc.attach_io_driver("eth0", net)
+        tel = xc.telemetry()
+        tel.histogram("net_http_request_latency_ns").observe(500.0)
+        snap = tel.snapshot()
+        counters = snap["counters"]
+
+        def have(prefix):
+            return any(key.startswith(prefix) for key in counters)
+
+        assert have("arch_icache_hits_total")
+        assert have("core_xkernel_syscalls_trapped_total")
+        assert have("xen_ring_batches_total")
+        assert have("faults_injected_total")
+        assert "net_http_request_latency_ns{domain=xc0}" in (
+            snap["histograms"]
+        )

@@ -50,6 +50,44 @@ class TestTracer:
         with pytest.warns(RuntimeWarning):
             tracer.emit("c", "e1")
 
+    def test_raising_capacity_rearms_the_overflow_warning(self):
+        """Regression: growing the ring used to leave the warn-once flag
+        set, so the next overflow episode dropped events silently."""
+        tracer = Tracer(SimClock(), capacity=2)
+        tracer.emit("c", "e0")
+        tracer.emit("c", "e1")
+        with pytest.warns(RuntimeWarning, match="ring overflowed"):
+            tracer.emit("c", "e2")
+        tracer.capacity = 3
+        assert tracer.capacity == 3
+        # Existing events survive the rebuild ...
+        assert [e.name for e in tracer.events()] == ["e1", "e2"]
+        tracer.emit("c", "e3")
+        # ... and the next overflow warns again.
+        with pytest.warns(RuntimeWarning, match="ring overflowed"):
+            tracer.emit("c", "e4")
+
+    def test_shrinking_capacity_keeps_newest_without_rearming(self):
+        import warnings
+
+        tracer = Tracer(SimClock(), capacity=3)
+        for index in range(4):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                tracer.emit("c", f"e{index}")
+        tracer.capacity = 2
+        assert [e.name for e in tracer.events()] == ["e2", "e3"]
+        # Shrinking adds no headroom: the episode is still in progress,
+        # so the warning stays disarmed.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            tracer.emit("c", "e4")
+
+    def test_capacity_setter_rejects_bad_values(self):
+        tracer = Tracer(SimClock())
+        with pytest.raises(ValueError):
+            tracer.capacity = 0
+
     def test_disabled_tracer_is_silent(self):
         tracer = Tracer(SimClock())
         tracer.enabled = False

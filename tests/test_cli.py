@@ -1,3 +1,5 @@
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -102,3 +104,97 @@ class TestChaosCommand:
     def test_unknown_scenario_errors(self):
         with pytest.raises(SystemExit, match="unknown scenario"):
             main(["chaos", "nonesuch"])
+
+    def test_json_format(self, capsys):
+        assert main(
+            ["chaos", "nginx-packet-loss", "--seed", "3",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_recovered"] is True
+        assert payload["scenarios"][0]["name"] == "nginx-packet-loss"
+
+
+class TestSharedOutputSurface:
+    """--format/--output behave identically on all four subcommands."""
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "usage error" in out
+
+    def test_analyze_json_format(self, capsys):
+        assert main(["analyze", "figure2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["unsafe"] == 0
+        assert payload["reports"][0]["has_unsafe"] is False
+        assert payload["reports"][0]["sites"]
+
+    def test_output_writes_file_instead_of_stdout(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(
+            ["chaos", "nginx-packet-loss", "--format", "json",
+             "--output", str(path)]
+        ) == 0
+        assert capsys.readouterr().out == ""
+        assert json.loads(path.read_text())["all_recovered"] is True
+
+    def test_every_subcommand_accepts_the_shared_flags(self):
+        parser = build_parser()
+        for command in ("analyze", "chaos", "metrics", "trace"):
+            args = parser.parse_args([command, "--format", "json"])
+            assert args.format == "json"
+            assert args.output is None
+
+
+class TestMetricsCommand:
+    def test_table_lists_unified_metrics(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "arch_icache_hits_total{cpu=0,domain=demo}" in out
+        assert "xen_ring_batches_total{domain=demo,driver=net0}" in out
+        assert "faults_injected_total" in out
+
+    def test_json_snapshot(self, capsys):
+        assert main(["metrics", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"]["finished"] > 0
+        assert (
+            payload["histograms"]
+            ["net_http_request_latency_ns{component=http,domain=demo}"]
+            ["count"] == 8
+        )
+
+    def test_prometheus_exposition(self, capsys):
+        assert main(["metrics", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE arch_icache_hits_total counter" in out
+        assert "net_http_request_latency_ns_bucket" in out
+
+    def test_same_seed_is_byte_identical(self, capsys):
+        main(["metrics", "--format", "json", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["metrics", "--format", "json", "--seed", "9"])
+        assert capsys.readouterr().out == first
+
+
+class TestTraceCommand:
+    def test_table_shows_span_tree(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "demo.syscall_bench" in out
+        assert "netfront.tx" in out
+        assert "http.request" in out
+
+    def test_json_is_chrome_trace_format(self, capsys):
+        assert main(["trace", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traceEvents"]
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_limit_bounds_the_table(self, capsys):
+        assert main(["trace", "--limit", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3  # header + 2 spans
