@@ -4,11 +4,15 @@ Reads ``BENCH_interpreter.json`` (written by the library benchmarks via
 ``benchmarks/conftest.py``), renders a markdown speedup table — appended
 to the GitHub Actions step summary when ``$GITHUB_STEP_SUMMARY`` is set,
 printed to stdout otherwise — and exits non-zero if any
-``speedup_vs_seed`` entry drops below the threshold (default 0.9).
+``speedup_vs_seed`` entry drops below the threshold (default 0.9), or
+if a regression-gated benchmark falls below ``--best-ratio`` (default
+0.9) of its recorded best ops/sec (the ``best_ops_per_sec`` high-water
+marks the conftest maintains across runs).
 
 Usage::
 
     python benchmarks/speedup_gate.py [--json PATH] [--threshold 0.9]
+                                      [--best-ratio 0.9]
 """
 
 from __future__ import annotations
@@ -20,6 +24,10 @@ import sys
 from pathlib import Path
 
 DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_interpreter.json"
+
+#: Benchmarks additionally gated against their recorded best (not just
+#: the frozen seed): a tentpole optimization must not quietly erode.
+REGRESSION_GATED = ("test_interpreter_instruction_rate",)
 
 
 def render_table(payload: dict, threshold: float) -> tuple[str, list[str]]:
@@ -35,22 +43,23 @@ def render_table(payload: dict, threshold: float) -> tuple[str, list[str]]:
     ]
     failing = []
     for name, speedup in sorted(speedups.items()):
-        seed_ops = baseline.get(name, {}).get("ops_per_sec")
+        seed = baseline.get(name) or {}
+        seed_ops = seed.get("ops_per_sec")
         cur_ops = results.get(name, {}).get("ops_per_sec")
+        cur_text = f"{cur_ops:,}" if cur_ops is not None else "—"
+        if speedup is None:
+            # Explicit null baseline: reported, never gated.
+            lines.append(
+                f"| `{name}` | — | {cur_text} | n/a | ➖ no seed baseline |"
+            )
+            continue
         ok = speedup >= threshold
         if not ok:
             failing.append(name)
         lines.append(
-            f"| `{name}` | {seed_ops:,} | {cur_ops:,} | {speedup:.2f}x "
+            f"| `{name}` | {seed_ops:,} | {cur_text} | {speedup:.2f}x "
             f"| {'✅' if ok else f'❌ below {threshold}'} |"
         )
-    unbaselined = sorted(set(results) - set(speedups))
-    if unbaselined:
-        lines += [
-            "",
-            "New benchmarks without a seed baseline (informational): "
-            + ", ".join(f"`{n}`" for n in unbaselined),
-        ]
     ablation = results.get("test_ring_batch_ablation", {}).get(
         "ablation_ns_per_desc"
     )
@@ -68,10 +77,26 @@ def render_table(payload: dict, threshold: float) -> tuple[str, list[str]]:
     return "\n".join(lines) + "\n", failing
 
 
+def regression_failures(
+    payload: dict, ratio: float
+) -> list[tuple[str, int, int]]:
+    """Gated benchmarks below ``ratio`` × their recorded best ops/sec."""
+    best = payload.get("best_ops_per_sec", {})
+    results = payload.get("results", {})
+    failing = []
+    for name in REGRESSION_GATED:
+        best_ops = best.get(name)
+        cur_ops = results.get(name, {}).get("ops_per_sec")
+        if best_ops and cur_ops and cur_ops < ratio * best_ops:
+            failing.append((name, cur_ops, best_ops))
+    return failing
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", type=Path, default=DEFAULT_JSON)
     parser.add_argument("--threshold", type=float, default=0.9)
+    parser.add_argument("--best-ratio", type=float, default=0.9)
     args = parser.parse_args(argv)
 
     if not args.json.exists():
@@ -87,6 +112,7 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(table)
     print(table)
 
+    regressions = regression_failures(payload, args.best_ratio)
     if failing:
         print(
             f"speedup gate FAILED: {len(failing)} benchmark(s) below "
@@ -94,7 +120,18 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"speedup gate passed (threshold {args.threshold}x seed)")
+    if regressions:
+        for name, cur_ops, best_ops in regressions:
+            print(
+                f"regression gate FAILED: {name} at {cur_ops:,} ops/s, "
+                f"below {args.best_ratio}x of recorded best {best_ops:,}",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"speedup gate passed (threshold {args.threshold}x seed, "
+        f"regression {args.best_ratio}x best)"
+    )
     return 0
 
 

@@ -52,7 +52,37 @@ def test_interpreter_instruction_rate(benchmark, record_rate):
 
     retired = benchmark(run)
     assert retired > 6000
-    record_rate(benchmark, retired, icache=last["cpu"].icache_stats.as_dict())
+    record_rate(
+        benchmark,
+        retired,
+        icache=last["cpu"].icache_stats.as_dict(),
+        trace=last["cpu"].trace_stats.as_dict(),
+    )
+
+
+def test_interpreter_instruction_rate_notrace(benchmark, record_rate):
+    """Ablation: decode cache on, trace cache off — isolates the win
+    from superblock compilation over per-instruction dispatch."""
+    binary = _counting_binary()
+    memory = _loaded_memory(binary)
+    last = {}
+
+    def run():
+        cpu = CPU(memory, tracecache=False)
+        cpu.regs.rip = binary.entry
+        cpu.regs.rsp = 0x7F0F00
+        cpu.run()
+        last["cpu"] = cpu
+        return cpu.instructions_retired
+
+    retired = benchmark(run)
+    assert retired > 6000
+    record_rate(
+        benchmark,
+        retired,
+        icache=last["cpu"].icache_stats.as_dict(),
+        trace=None,
+    )
 
 
 def test_interpreter_instruction_rate_uncached(benchmark, record_rate):
@@ -118,13 +148,22 @@ def test_syscall_dispatch_rate(benchmark, record_rate):
     total = benchmark(run)
     assert total == 500
     tel = last["xc"].telemetry()
+    # Counters are integers: int() the registry reads (collection
+    # returns floats) so the JSON never reports "hits": 1499.0.
     record_rate(
         benchmark,
         total,
         icache={
-            "hits": tel.value("arch_icache_hits_total"),
-            "misses": tel.value("arch_icache_misses_total"),
-            "invalidations": tel.value("arch_icache_invalidations_total"),
+            "hits": int(tel.value("arch_icache_hits_total")),
+            "misses": int(tel.value("arch_icache_misses_total")),
+            "invalidations": int(tel.value("arch_icache_invalidations_total")),
+        },
+        trace={
+            "compiles": int(tel.value("arch_trace_compiles_total")),
+            "executions": int(tel.value("arch_trace_executions_total")),
+            "instructions": int(tel.value("arch_trace_instructions_total")),
+            "guard_exits": int(tel.value("arch_trace_guard_exits_total")),
+            "invalidations": int(tel.value("arch_trace_invalidations_total")),
         },
     )
 

@@ -11,6 +11,7 @@ faithfully requires real machine code, so this package provides:
 * :mod:`repro.arch.encoding` — encoder/decoder for the instruction subset;
 * :mod:`repro.arch.assembler` — a two-pass mini assembler with labels;
 * :mod:`repro.arch.cpu` — an interpreter with traps and native-stub hooks;
+* :mod:`repro.arch.tracecache` — trace-compiled superblocks over the icache;
 * :mod:`repro.arch.binary` — program images with syscall-site metadata.
 """
 
@@ -19,6 +20,7 @@ from repro.arch.memory import PagedMemory, PageFlags, PageFault
 from repro.arch.encoding import Instruction, decode, InvalidOpcode
 from repro.arch.assembler import Assembler
 from repro.arch.cpu import CPU, ICacheStats, Trap, TrapKind, CpuHalted
+from repro.arch.tracecache import TraceCache, TraceStats
 from repro.arch.binary import Binary, SyscallSite, SitePattern
 from repro.arch.disasm import disassemble, disassemble_memory, format_listing
 
@@ -34,6 +36,8 @@ __all__ = [
     "Assembler",
     "CPU",
     "ICacheStats",
+    "TraceCache",
+    "TraceStats",
     "Trap",
     "TrapKind",
     "CpuHalted",

@@ -23,8 +23,11 @@ with the generation counters of the page(s) it spans.  Later visits
 execute the pre-decoded block without touching the decoder.  A write to
 any stamped page — including ABOM's ``cmpxchg`` patches landing on live
 text (§4.4) — invalidates the block before its next execution, so
-self-modifying code is always observed.  See
-``docs/interpreter_performance.md``.
+self-modifying code is always observed.  On top of the block cache sits
+a **trace cache** (:mod:`repro.arch.tracecache`): hot block chains are
+stitched into superblocks and compiled into specialized Python functions
+dispatched from :meth:`CPU.run`, with guard checks bailing back to the
+interpreter at the exact RIP.  See ``docs/interpreter_performance.md``.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from repro.arch.encoding import (
 )
 from repro.arch.memory import PAGE_SHIFT, PAGE_SIZE, PagedMemory, PageFault
 from repro.arch.registers import Reg, RegisterFile, to_signed64
+from repro.arch.tracecache import TraceCache, TraceStats
 
 MASK64 = (1 << 64) - 1
 MAX_INSTR_LEN = 15
@@ -358,6 +362,7 @@ class CPU:
         clock=None,
         instruction_ns: float = 0.0,
         icache: bool = True,
+        tracecache: bool = True,
     ) -> None:
         self.mem = memory
         self.regs = RegisterFile()
@@ -369,12 +374,20 @@ class CPU:
         self.halted = False
         self.icache_enabled = icache
         self.icache_stats = ICacheStats()
+        self.trace_stats = TraceStats()
         #: Cached blocks keyed by start address.
         self._blocks: dict[int, _Block] = {}
         #: page index -> start addresses of blocks decoded from that page.
         self._page_blocks: dict[int, set[int]] = {}
         #: (block, next op index) continuation for straight-line execution.
         self._cursor: Optional[tuple[_Block, int]] = None
+        # The trace cache profiles block entries observed by the icache,
+        # so it requires the icache to be enabled.
+        self._tracecache: Optional[TraceCache] = (
+            TraceCache(self, stats=self.trace_stats)
+            if icache and tracecache
+            else None
+        )
         if icache:
             memory.add_write_observer(self._invalidate_written)
 
@@ -435,6 +448,9 @@ class CPU:
                 return None
         self._cursor = (block, 1)
         self.icache_stats.hits += 1
+        tc = self._tracecache
+        if tc is not None:
+            tc.note_block(rip)
         return block.ops[0]
 
     def _fill_block(self, rip: int) -> _Block:
@@ -493,6 +509,9 @@ class CPU:
 
     def _invalidate_written(self, addr: int, size: int) -> None:
         """Write-observer hook: drop blocks decoded from written pages."""
+        tc = self._tracecache
+        if tc is not None and (tc.traces or tc.failed):
+            tc.invalidate_range(addr >> PAGE_SHIFT, (addr + size - 1) >> PAGE_SHIFT)
         page_blocks = self._page_blocks
         if not page_blocks:
             return
@@ -509,12 +528,14 @@ class CPU:
                     self.icache_stats.invalidations += 1
 
     def flush_icache(self) -> None:
-        """Drop every cached block (counters are preserved)."""
+        """Drop every cached block and trace (counters are preserved)."""
         for block in list(self._blocks.values()):
             block.live = False
         self._blocks.clear()
         self._page_blocks.clear()
         self._cursor = None
+        if self._tracecache is not None:
+            self._tracecache.flush()
 
     # ------------------------------------------------------------------
     # Execution
@@ -542,6 +563,9 @@ class CPU:
                     return
                 self._cursor = (block, 1)
                 op = block.ops[0]
+                tc = self._tracecache
+                if tc is not None:
+                    tc.note_block(rip)
             op[1](self, op[2], op[3])
             self._charge()
             return
@@ -557,13 +581,26 @@ class CPU:
         self._charge()
 
     def run(self, max_instructions: int = 10_000_000) -> int:
-        """Run until halt; returns instructions retired in this call."""
+        """Run until halt; returns instructions retired in this call.
+
+        This is the only dispatch point for compiled traces: ``step()``
+        keeps strict one-instruction granularity (``run_concurrent``'s
+        quantum interleaving depends on it), while ``run`` may retire a
+        whole superblock per iteration.  A trace entry that returns 0
+        (stale stamps, insufficient fuel) falls through to ``step()`` so
+        forward progress is always made.
+        """
         start = self.instructions_retired
+        tc = self._tracecache
         while not self.halted:
-            if self.instructions_retired - start >= max_instructions:
+            executed = self.instructions_retired - start
+            if executed >= max_instructions:
                 raise RuntimeError(
                     f"instruction budget exhausted ({max_instructions})"
                 )
+            if tc is not None and tc.traces:
+                if tc.execute(self.regs.rip, max_instructions - executed):
+                    continue
             self.step()
         return self.instructions_retired - start
 

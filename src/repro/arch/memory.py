@@ -13,7 +13,10 @@ permission changes.  The CPU's basic-block decode cache stamps cached
 blocks with the generations of the pages they were decoded from and drops
 a block the moment a stamp goes stale — the software analogue of the
 hardware i-cache coherence §4.4's atomic-patch argument relies on.  Write
-observers provide the eager push-side of the same protocol.
+observers provide the eager push-side of the same protocol.  The trace
+cache (``repro.arch.tracecache``) rides the identical stamps and
+observers for its compiled superblocks, so one store path keeps every
+tier of cached decoded text coherent.
 """
 
 from __future__ import annotations

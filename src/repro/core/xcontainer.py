@@ -48,6 +48,7 @@ class XContainer:
         vcpus: int = 1,
         memory_mb: int = 128,
         icache: bool = True,
+        tracecache: bool = True,
         faults=None,
         telemetry: bool = True,
     ) -> None:
@@ -58,6 +59,7 @@ class XContainer:
         self.clock = clock if clock is not None else SimClock()
         self.memory = PagedMemory()
         self.icache_enabled = icache
+        self.tracecache_enabled = tracecache
         #: Optional :class:`repro.faults.plan.FaultEngine` (chaos runs).
         self.faults = faults
         self.xkernel = XKernel(
@@ -73,6 +75,7 @@ class XContainer:
             self.clock,
             instruction_ns=self.costs.instruction_ns,
             icache=icache,
+            tracecache=tracecache,
         )
         self.cpus: list[CPU] = [self.cpu]
         self.xkernel.attach(self.cpu, self.libos)
@@ -104,7 +107,10 @@ class XContainer:
             self.clock,
             instruction_ns=self.costs.instruction_ns,
             icache=self.icache_enabled,
+            tracecache=self.tracecache_enabled,
         )
+        if cpu._tracecache is not None and self.xkernel.tracer is not None:
+            cpu._tracecache.tracer = self.xkernel.tracer
         self.xkernel.attach(cpu, self.libos)
         self._setup_stack(cpu, index=len(self.cpus))
         self.cpus.append(cpu)
@@ -183,6 +189,9 @@ class XContainer:
         self.xkernel.tracer = tracer
         self.xkernel.abom.tracer = tracer
         self.libos.tracer = tracer
+        for cpu in self.cpus:
+            if cpu._tracecache is not None:
+                cpu._tracecache.tracer = tracer
         if self.faults is not None:
             self.faults.tracer = tracer
         if self._telemetry is not None:

@@ -77,6 +77,50 @@ def wire_cpu(registry: Registry, cpu, index: int) -> None:
         help="cached blocks dropped by stores to their text pages",
         cpu=index,
     )
+    tstats = cpu.trace_stats
+    registry.bind(
+        "arch_trace_compiles_total",
+        lambda: tstats.compiles,
+        help="hot block chains compiled into superblock traces",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_trace_aborts_total",
+        lambda: tstats.aborts,
+        help="chains rejected by the trace recorder",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_trace_executions_total",
+        lambda: tstats.executions,
+        help="entries into compiled trace code",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_trace_instructions_total",
+        lambda: tstats.instructions,
+        help="instructions retired inside compiled traces",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_trace_guard_exits_total",
+        lambda: tstats.guard_exits,
+        help="trace bail-outs through branch/value/liveness guards",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_trace_invalidations_total",
+        lambda: tstats.invalidations,
+        help="traces evicted by stores or stale page generations",
+        cpu=index,
+    )
+    registry.bind(
+        "arch_trace_code_bytes",
+        lambda: tstats.code_bytes,
+        help="generated trace source bytes currently installed",
+        kind="gauge",
+        cpu=index,
+    )
 
 
 # -- core -------------------------------------------------------------------

@@ -19,11 +19,11 @@ BASE = 0x400000
 STACK_BASE = 0x7F0000
 
 
-def fresh_cpu(binary, icache=True):
+def fresh_cpu(binary, icache=True, tracecache=True):
     mem = PagedMemory()
     binary.load(mem)
     mem.map_region(STACK_BASE, 0x10000, PageFlags.USER | PageFlags.WRITABLE)
-    cpu = CPU(mem, icache=icache)
+    cpu = CPU(mem, icache=icache, tracecache=tracecache)
     cpu.regs.rip = binary.entry
     cpu.regs.rsp = STACK_BASE + 0x10000 - 256
     return cpu
@@ -51,7 +51,9 @@ class TestDispatchTable:
 
 class TestHitMissCounters:
     def test_loop_hits_dominate(self):
-        cpu = fresh_cpu(counting_loop(100))
+        # tracecache=False: a compiled trace would absorb the loop after
+        # ~50 iterations and starve the icache hit counter.
+        cpu = fresh_cpu(counting_loop(100), tracecache=False)
         cpu.run()
         stats = cpu.icache_stats
         assert cpu.regs.rax == 100
@@ -84,6 +86,14 @@ class TestHitMissCounters:
         cpu.run()
         d = cpu.icache_stats.as_dict()
         assert set(d) == {"hits", "misses", "invalidations", "hit_rate"}
+
+    def test_hit_rate_zero_fetches(self):
+        """hit_rate must not divide by zero before any instruction runs."""
+        cpu = fresh_cpu(counting_loop(5))
+        stats = cpu.icache_stats
+        assert (stats.hits, stats.misses) == (0, 0)
+        assert stats.hit_rate == 0.0
+        assert stats.as_dict()["hit_rate"] == 0.0
 
     def test_blocks_cap_at_page_boundary(self):
         """A block never spans a decode across its starting page's end
@@ -168,6 +178,35 @@ class TestSelfModifyingCode:
         assert not cpu._blocks
         assert not cpu._page_blocks
 
+    def test_flush_icache_mid_execution(self):
+        """Flushing while a cursor is live must not corrupt execution:
+        the run continues from a fresh decode and retires the same
+        stream as an unflushed CPU."""
+        reference = fresh_cpu(counting_loop(40))
+        reference.run()
+        cpu = fresh_cpu(counting_loop(40))
+        for _ in range(25):  # stop mid-loop, cursor inside a cached block
+            cpu.step()
+        assert cpu._cursor is not None or cpu._blocks
+        misses_before = cpu.icache_stats.misses
+        cpu.flush_icache()
+        assert cpu._cursor is None
+        cpu.run()
+        assert cpu.regs.snapshot() == reference.regs.snapshot()
+        assert cpu.instructions_retired == reference.instructions_retired
+        # The flush forced at least one re-decode of live text.
+        assert cpu.icache_stats.misses > misses_before
+
+    def test_flush_icache_drops_traces(self):
+        cpu = fresh_cpu(counting_loop(200))
+        cpu.run()
+        tc = cpu._tracecache
+        assert tc.traces  # the hot loop was trace-compiled
+        assert cpu.trace_stats.code_bytes > 0
+        cpu.flush_icache()
+        assert not tc.traces
+        assert cpu.trace_stats.code_bytes == 0
+
 
 # ----------------------------------------------------------------------
 # Property: icache on/off retire identical instruction streams
@@ -244,3 +283,48 @@ class TestCachedUncachedEquivalence:
             )
         assert cached.halted and plain.halted
         assert cached.instructions_retired == plain.instructions_retired
+
+
+def _final_state(cpu):
+    return (
+        cpu.regs.rip,
+        cpu.regs.snapshot(),
+        (cpu.regs.zf, cpu.regs.sf, cpu.regs.cf),
+        cpu.instructions_retired,
+    )
+
+
+class TestTracedEquivalence:
+    """Interpreter, icache, and trace-compiled execution are
+    indistinguishable except for speed (run-to-halt comparison; traces
+    retire whole superblocks per dispatch, so lock-step is meaningless)."""
+
+    @given(st.lists(_op, min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_three_modes_agree_on_random_programs(self, ops):
+        binary = _assemble(ops)
+        plain = fresh_cpu(binary, icache=False)
+        cached = fresh_cpu(binary, icache=True, tracecache=False)
+        traced = fresh_cpu(binary, icache=True, tracecache=True)
+        # Straight-line programs only get hot across repeat runs; drop
+        # the threshold so traces actually engage within a few passes.
+        traced._tracecache.hot_threshold = 2
+        for cpu in (plain, cached, traced):
+            for _ in range(5):
+                cpu.halted = False
+                cpu.regs.rip = binary.entry
+                cpu.run()
+        assert _final_state(plain) == _final_state(cached) == _final_state(traced)
+
+    def test_traces_engage_and_agree_on_hot_loop(self):
+        binary = counting_loop(500)
+        traced = fresh_cpu(binary)
+        traced.run()
+        plain = fresh_cpu(binary, icache=False)
+        plain.run()
+        assert _final_state(traced) == _final_state(plain)
+        stats = traced.trace_stats
+        assert stats.compiles >= 1
+        assert stats.executions >= 1
+        # The overwhelming majority of the loop ran inside the trace.
+        assert stats.instructions > 1000
