@@ -62,6 +62,15 @@ class DifferentialResult:
     #: Syscall addresses ABOM patched that static discovery never found.
     unpredicted_patches: list[int] = field(default_factory=list)
     traps: int = 0
+    #: Trap addresses seen by exactly one of the tracecache=True /
+    #: tracecache=False runs (the superblock compiler must not change
+    #: which sites trap).
+    tracecache_trap_mismatches: list[int] = field(default_factory=list)
+    #: Final-text divergence between the two runs (ABOM must converge to
+    #: the same patched bytes whether or not traces were compiled).
+    tracecache_byte_mismatches: list[ByteMismatch] = field(
+        default_factory=list
+    )
 
     @property
     def decision_mismatches(self) -> list[SiteOutcome]:
@@ -77,6 +86,8 @@ class DifferentialResult:
             not self.decision_mismatches
             and not self.byte_mismatches
             and not self.unpredicted_patches
+            and not self.tracecache_trap_mismatches
+            and not self.tracecache_byte_mismatches
         )
 
 
@@ -137,6 +148,26 @@ def run_differential(
     if bytes(expected) != actual:
         result.byte_mismatches = _diff_regions(
             binary.base, bytes(expected), actual
+        )
+
+    # Trace-cache cross-check: the first run compiled hot superblocks
+    # (tracecache=True is the XContainer default); replaying with the
+    # compiler off must trap at exactly the same static sites and leave
+    # byte-identical patched text — compiled traces may skip *decoding*
+    # but must never hide or invent a syscall trap.
+    xc_cold = XContainer(CountingServices(), tracecache=False)
+    tracer_cold = Tracer(xc_cold.clock, capacity=65536)
+    xc_cold.attach_tracer(tracer_cold)
+    xc_cold.run(binary, max_instructions=max_instructions)
+    trapped_cold = {
+        event.detail["rip"]
+        for event in tracer_cold.events("syscall", "forwarded")
+    }
+    result.tracecache_trap_mismatches = sorted(trapped ^ trapped_cold)
+    actual_cold = xc_cold.memory.read(binary.base, len(binary.code))
+    if actual_cold != actual:
+        result.tracecache_byte_mismatches = _diff_regions(
+            binary.base, actual, actual_cold
         )
     return result
 

@@ -1,0 +1,221 @@
+"""Determinism lint: a static AST pass over the simulation sources.
+
+The whole repository's value proposition is byte-identical replay: same
+seed ⇒ same simulated results, same chaos outcomes, same sanitizer
+findings.  Three classes of Python idiom silently break that promise:
+
+* **wall-clock reads** (``time.time()``, ``datetime.now()``...) — the
+  simulation owns time through :class:`~repro.perf.clock.SimClock`;
+* **unseeded randomness** (module-level ``random.*``, ``random.Random()``
+  with no seed, ``uuid.uuid4``, ``os.urandom``...) — all randomness must
+  flow through :class:`~repro.perf.rand.DeterministicRng`;
+* **set-iteration order** (``for x in {...}`` / ``for x in set(...)``) —
+  set iteration order depends on insertion *and* hash seed; simulation
+  paths must iterate ``sorted(...)`` or a list/dict instead.
+
+Modules on the :data:`ALLOWLIST` (the CLI and the telemetry exporters,
+which legitimately talk to the outside world) are exempt.  Run it as::
+
+    python -m repro.analysis.lint src/repro
+
+which exits 1 if any issue is found — the CI static-analysis gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+#: Path suffixes (relative, ``/``-separated) exempt from the lint: the
+#: process edge, where wall-clock and host entropy are legitimate.
+ALLOWLIST: tuple[str, ...] = (
+    "repro/cli.py",
+    "repro/__main__.py",
+    "repro/obs/exporters.py",
+)
+
+#: ``module.attr`` call targets that read the host wall clock.
+WALL_CLOCK_CALLS: frozenset[str] = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+})
+
+#: ``module.attr`` call targets that draw host entropy.
+ENTROPY_CALLS: frozenset[str] = frozenset({
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+})
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One determinism violation at a concrete source location."""
+
+    path: str
+    line: int
+    rule: str  # "wall-clock" | "unseeded-random" | "set-iteration"
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for attribute chains, ``name`` for bare names, else ''."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """Collects determinism violations from one module's AST."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.issues: list[LintIssue] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        self.issues.append(LintIssue(self.path, line, rule, message))
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        target = _dotted(node.func)
+        tail = ".".join(target.split(".")[-2:])
+        if tail in WALL_CLOCK_CALLS:
+            self._flag(
+                node, "wall-clock",
+                f"{target}() reads the host clock; use SimClock",
+            )
+        elif tail in ENTROPY_CALLS:
+            self._flag(
+                node, "unseeded-random",
+                f"{target}() draws host entropy; use DeterministicRng",
+            )
+        elif target.startswith("random.") or ".random." in f".{target}":
+            # Module-level random.* (incl. numpy.random.*): the shared,
+            # process-global generator — unseeded unless someone seeded
+            # it far away, which is exactly the hazard.
+            if target.endswith(".Random") or target.endswith(".default_rng"):
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node, "unseeded-random",
+                        f"{target}() without a seed; pass an explicit seed",
+                    )
+            else:
+                self._flag(
+                    node, "unseeded-random",
+                    f"module-level {target}(); use DeterministicRng",
+                )
+        self.generic_visit(node)
+
+    # -- imports -------------------------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            clocks = sorted(
+                alias.name for alias in node.names
+                if f"time.{alias.name}" in WALL_CLOCK_CALLS
+            )
+            if clocks:
+                self._flag(
+                    node, "wall-clock",
+                    f"from time import {', '.join(clocks)}; use SimClock",
+                )
+        self.generic_visit(node)
+
+    # -- iteration order -----------------------------------------------
+    def _check_iter(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Set):
+            self._flag(
+                node, "set-iteration",
+                "iterating a set literal; order is hash-dependent "
+                "— iterate sorted(...) or a list",
+            )
+        elif isinstance(node, ast.Call):
+            target = _dotted(node.func)
+            if target in ("set", "frozenset"):
+                self._flag(
+                    node, "set-iteration",
+                    f"iterating {target}(...); order is hash-dependent "
+                    "— iterate sorted(...) or a list",
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+def _allowed(path: Path) -> bool:
+    normalized = path.as_posix()
+    return any(normalized.endswith(suffix) for suffix in ALLOWLIST)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintIssue]:
+    """Lint one module's source text."""
+    visitor = _DeterminismVisitor(path)
+    visitor.visit(ast.parse(source, filename=path))
+    return sorted(
+        visitor.issues, key=lambda i: (i.path, i.line, i.rule, i.message)
+    )
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintIssue]:
+    """Lint every ``*.py`` under each path (files or directories)."""
+    issues: list[LintIssue] = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            if _allowed(file):
+                continue
+            issues.extend(
+                lint_source(file.read_text(encoding="utf-8"), str(file))
+            )
+    return sorted(
+        issues, key=lambda i: (i.path, i.line, i.rule, i.message)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    targets = argv or ["src/repro"]
+    issues = lint_paths(targets)
+    for issue in issues:
+        print(issue.render())
+    print(
+        f"determinism lint: {len(issues)} issue(s) in "
+        f"{', '.join(targets)}"
+    )
+    return 1 if issues else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

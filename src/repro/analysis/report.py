@@ -81,6 +81,12 @@ class AnalysisReport:
                 "exercised": sum(1 for o in diff.outcomes if o.executed),
                 "decision_mismatches": len(diff.decision_mismatches),
                 "byte_mismatch_regions": len(diff.byte_mismatches),
+                "tracecache_trap_mismatches": len(
+                    diff.tracecache_trap_mismatches
+                ),
+                "tracecache_byte_mismatch_regions": len(
+                    diff.tracecache_byte_mismatches
+                ),
                 "ok": diff.ok,
             }
         return data
@@ -154,13 +160,27 @@ class AnalysisReport:
                 f"  MISMATCH {addr:#x}: ABOM patched a site static "
                 "discovery never found"
             )
+        for addr in diff.tracecache_trap_mismatches:
+            lines.append(
+                f"  MISMATCH {addr:#x}: trap site differs between the "
+                "tracecache=True and tracecache=False runs"
+            )
+        for miss in diff.tracecache_byte_mismatches:
+            lines.append(
+                f"  BYTES    {miss.addr:#x}: tracecache=True left "
+                f"{miss.expected.hex(' ')}, tracecache=False left "
+                f"{miss.actual.hex(' ')}"
+            )
         for outcome in diff.unexercised:
             lines.append(
                 f"  note     {outcome.addr:#x} ({outcome.pattern}) was "
                 "never executed; online ABOM could not see it"
             )
         if diff.ok:
-            lines.append("  static model and online ABOM agree")
+            lines.append(
+                "  static model and online ABOM agree "
+                "(trace cache on and off)"
+            )
         return lines
 
 

@@ -372,6 +372,12 @@ class CPU:
         self.native_stubs: dict[int, NativeStub] = {}
         self.instructions_retired = 0
         self.halted = False
+        #: Optional :class:`repro.sanitize.suite.SanitizerSuite`; block
+        #: decode reports an exec access for the race detector.  ``None``
+        #: keeps the hook a single attribute test on the cold decode path.
+        self.sanitizer = None
+        #: Name this CPU's accesses are attributed to by the sanitizers.
+        self.actor = "cpu"
         self.icache_enabled = icache
         self.icache_stats = ICacheStats()
         self.trace_stats = TraceStats()
@@ -495,6 +501,11 @@ class CPU:
         self._blocks[rip] = block
         for index, _ in pages:
             self._page_blocks.setdefault(index, set()).add(rip)
+        san = self.sanitizer
+        if san is not None:
+            # Decode is the moment text bytes are consumed; the exec
+            # access synchronizes on the per-page generation channel.
+            san.on_exec(self.actor, rip, max(offset, 1))
         return block
 
     def _evict(self, block: _Block) -> None:

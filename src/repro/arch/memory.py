@@ -74,6 +74,11 @@ class PagedMemory:
         self._pages: dict[int, _Page] = {}
         self.wp_enabled = True
         self._write_observers: list[WriteObserver] = []
+        self._lock_observers: list[WriteObserver] = []
+        #: True while a ``LOCK``-prefixed store (:meth:`compare_exchange`)
+        #: is inside :meth:`write`; lets plain write observers skip stores
+        #: that a lock observer will report as synchronized.
+        self.in_locked_op = False
 
     # ------------------------------------------------------------------
     # Write observation (decode-cache invalidation hook)
@@ -88,6 +93,16 @@ class PagedMemory:
 
     def remove_write_observer(self, observer: WriteObserver) -> None:
         self._write_observers.remove(observer)
+
+    def add_lock_observer(self, observer: WriteObserver) -> None:
+        """Call ``observer(addr, size)`` after every *successful*
+        ``LOCK``-prefixed store (:meth:`compare_exchange`).  While the
+        locked store runs, :attr:`in_locked_op` is True so plain write
+        observers can recognize it."""
+        self._lock_observers.append(observer)
+
+    def remove_lock_observer(self, observer: WriteObserver) -> None:
+        self._lock_observers.remove(observer)
 
     def _notify(self, addr: int, size: int) -> None:
         for observer in self._write_observers:
@@ -284,7 +299,16 @@ class PagedMemory:
         current = self.read(addr, len(expected))
         if current != expected:
             return False
-        self.write(addr, new)
+        if self._lock_observers:
+            self.in_locked_op = True
+            try:
+                self.write(addr, new)
+            finally:
+                self.in_locked_op = False
+            for observer in self._lock_observers:
+                observer(addr, len(new))
+        else:
+            self.write(addr, new)
         return True
 
     def dirty_pages(self) -> list[int]:

@@ -8,10 +8,11 @@
     repro abom-demo              # patch a binary live, show the bytes
     repro analyze [example]      # static §4.4 patch-safety analysis
     repro chaos [scenario]       # deterministic fault-injection scenarios
+    repro sanitize [target]      # cross-vCPU sanitizer suite
     repro metrics                # telemetry demo: registry snapshot
     repro trace                  # telemetry demo: span timeline
 
-``analyze``, ``chaos``, ``metrics`` and ``trace`` share one output
+``analyze``, ``chaos``, ``sanitize``, ``metrics`` and ``trace`` share one output
 surface: ``--format {table,json}`` picks the rendering and
 ``--output PATH`` redirects it to a file (default: stdout).
 
@@ -29,7 +30,8 @@ EXIT_CODES = """\
 exit codes:
   0  success (analyze: all findings safe; chaos: all scenarios recovered)
   1  gate failure (analyze: unsafe finding or differential mismatch;
-     chaos: unrecovered scenario or missing core-substrate coverage)
+     chaos: unrecovered scenario or missing core-substrate coverage;
+     sanitize: any finding — or, for fixtures, a silenced checker)
   2  usage error (unknown subcommand/argument; raised by argparse)
 """
 
@@ -211,6 +213,44 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run the cross-vCPU sanitizer suite over end-to-end workloads.
+
+    Targets: ``chaos`` (the fault catalog — retried faults must leave
+    the checkers clean), ``workloads`` (fig3 request profiles + fig8
+    scale-out), ``fixtures`` (the seeded-race units, which are SUPPOSED
+    to fire), or ``all`` (chaos + workloads; the CI clean-run gate).
+    Exits 1 on any finding except under ``fixtures``, where it exits 1
+    if any fixture FAILS to produce a finding (a silenced checker).
+    """
+    from repro.sanitize import FIXTURES, run_sanitize
+
+    if args.list:
+        from repro.faults import scenarios
+
+        for name in scenarios.names():
+            print(f"chaos:{name}")
+        for name in ("nginx", "memcached", "redis", "scaleout"):
+            print(f"workload:{name}")
+        for name in FIXTURES:
+            print(f"fixture:{name}")
+        return 0
+    if args.target not in ("chaos", "workloads", "fixtures", "all"):
+        raise SystemExit(
+            f"unknown sanitize target {args.target!r} "
+            "(known: chaos, workloads, fixtures, all)"
+        )
+    report = run_sanitize(args.seed, args.target)
+    if args.format == "json":
+        _emit(args, _json_text(report.as_dict()))
+    else:
+        _emit(args, report.render())
+    if args.target == "fixtures":
+        # The inverted gate: every seeded race must still be caught.
+        return 0 if all(not u.clean for u in report.units) else 1
+    return 0 if report.clean else 1
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Run the deterministic telemetry demo and export its registry.
 
@@ -316,6 +356,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the scenario catalog"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    sanitize = sub.add_parser(
+        "sanitize", help="run the cross-vCPU sanitizer suite",
+        parents=[common_output],
+    )
+    sanitize.add_argument(
+        "target", nargs="?", default="all",
+        choices=("chaos", "workloads", "fixtures", "all"),
+        help="what to sanitize (default: all = chaos + workloads)",
+    )
+    sanitize.add_argument(
+        "--seed", default="0",
+        help="run seed; same seed replays byte-identically",
+    )
+    sanitize.add_argument(
+        "--list", action="store_true", help="list sanitized units"
+    )
+    sanitize.set_defaults(func=cmd_sanitize)
 
     metrics = sub.add_parser(
         "metrics", help="telemetry demo: unified registry snapshot",

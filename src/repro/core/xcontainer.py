@@ -51,6 +51,7 @@ class XContainer:
         tracecache: bool = True,
         faults=None,
         telemetry: bool = True,
+        sanitizers=None,
     ) -> None:
         self.name = name
         self.vcpus = vcpus
@@ -86,6 +87,20 @@ class XContainer:
         #: Lazily-built :class:`repro.obs.Telemetry` (see :meth:`telemetry`).
         self._telemetry = None
         self._telemetry_enabled = telemetry
+        #: Optional :class:`repro.sanitize.suite.SanitizerSuite`.
+        self.sanitizers = None
+        if sanitizers is not None:
+            self.attach_sanitizers(sanitizers)
+
+    def attach_sanitizers(self, suite) -> None:
+        """Wire a :class:`repro.sanitize.suite.SanitizerSuite` into this
+        container: memory write/LOCK observers plus per-vCPU exec hooks.
+        The suite sees every vCPU under the ``<name>/vcpuN`` actor."""
+        self.sanitizers = suite
+        suite.attach_memory(self.memory)
+        for index, cpu in enumerate(self.cpus):
+            cpu.sanitizer = suite
+            cpu.actor = f"{self.name}/vcpu{index}"
 
     def _setup_stack(self, cpu: CPU, index: int) -> None:
         top = STACK_TOP - index * STACK_STRIDE
@@ -113,6 +128,9 @@ class XContainer:
             cpu._tracecache.tracer = self.xkernel.tracer
         self.xkernel.attach(cpu, self.libos)
         self._setup_stack(cpu, index=len(self.cpus))
+        if self.sanitizers is not None:
+            cpu.sanitizer = self.sanitizers
+            cpu.actor = f"{self.name}/vcpu{len(self.cpus)}"
         self.cpus.append(cpu)
         if len(self.cpus) > self.vcpus:
             self.vcpus = len(self.cpus)
@@ -143,8 +161,13 @@ class XContainer:
             cpu.regs.rip = entry
         retired = 0
         live = [cpu for cpu, _ in programs]
+        sanitizers = self.sanitizers
         while live and retired < max_instructions:
             for cpu in list(live):
+                if sanitizers is not None:
+                    # Memory-observer accesses during this quantum belong
+                    # to this vCPU.
+                    sanitizers.current_actor = cpu.actor
                 for _ in range(quantum):
                     if cpu.halted:
                         break
@@ -175,6 +198,8 @@ class XContainer:
         """Run already-loaded code starting at ``entry``."""
         self.cpu.halted = False
         self.cpu.regs.rip = entry
+        if self.sanitizers is not None:
+            self.sanitizers.current_actor = self.cpu.actor
         start_ns = self.clock.now_ns
         retired = self.cpu.run(max_instructions)
         return RunResult(
@@ -200,6 +225,8 @@ class XContainer:
     def step(self, count: int = 1) -> int:
         """Execute up to ``count`` instructions; returns how many ran."""
         executed = 0
+        if self.sanitizers is not None:
+            self.sanitizers.current_actor = self.cpu.actor
         while executed < count and not self.cpu.halted:
             self.cpu.step()
             executed += 1
@@ -265,6 +292,8 @@ class XContainer:
 
     def resume(self, max_instructions: int = 50_000_000) -> RunResult:
         """Continue execution from the current (restored) state."""
+        if self.sanitizers is not None:
+            self.sanitizers.current_actor = self.cpu.actor
         start_ns = self.clock.now_ns
         retired = self.cpu.run(max_instructions)
         return RunResult(

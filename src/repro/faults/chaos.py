@@ -17,7 +17,7 @@ chaos failure replayable with ``repro chaos --seed S``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.faults.plan import FaultEngine, FaultPlan, SiteCounters
 from repro.faults.retry import RetryExhausted
@@ -38,6 +38,9 @@ class ScenarioContext:
     rng: DeterministicRng
     #: Invariants checked so far (descriptions, pass/fail recorded).
     invariants: list[str] = field(default_factory=list)
+    #: Optional :class:`repro.sanitize.suite.SanitizerSuite` the body
+    #: wires into the substrates it constructs (``repro sanitize``).
+    sanitizers: object | None = None
 
     def check(self, condition: bool, invariant: str) -> None:
         """Assert a recovery invariant; failures abort the scenario."""
@@ -96,7 +99,10 @@ class ChaosHarness:
         return f"{self.seed}:{scenario.name}"
 
     def run(
-        self, scenario: Scenario, plan: FaultPlan | None = None
+        self,
+        scenario: Scenario,
+        plan: FaultPlan | None = None,
+        sanitizers: Any = None,
     ) -> ScenarioResult:
         """Run one scenario under its (or an explicit) fault plan."""
         seed = self.scenario_seed(scenario)
@@ -108,6 +114,7 @@ class ChaosHarness:
             clock=clock,
             engine=engine,
             rng=DeterministicRng(seed).fork("body"),
+            sanitizers=sanitizers,
         )
         failure = ""
         details: dict = {}

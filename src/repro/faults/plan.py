@@ -132,7 +132,7 @@ class FaultPlan:
     def compile(
         self,
         clock: SimClock | None = None,
-        tracer=None,
+        tracer: Any = None,
     ) -> "FaultEngine":
         """Build the engine the substrates fire into."""
         return FaultEngine(self, clock=clock, tracer=tracer)
@@ -226,7 +226,7 @@ class FaultEngine:
         self,
         plan: FaultPlan,
         clock: SimClock | None = None,
-        tracer=None,
+        tracer: Any = None,
     ) -> None:
         self.plan = plan
         self.clock = clock

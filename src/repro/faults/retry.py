@@ -73,7 +73,7 @@ class RetryPolicy:
         retriable: tuple[type[BaseException], ...] | type[BaseException],
         *,
         clock: SimClock | None = None,
-        faults=None,
+        faults: Any = None,
         site: str = "",
         on_retry: Callable[[BaseException, int], None] | None = None,
     ) -> T:

@@ -17,6 +17,8 @@ whole run replays byte-identically from ``repro chaos --seed S``.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.faults import sites
 from repro.faults.chaos import Scenario, ScenarioContext
 from repro.faults.plan import Every, FaultPlan, FaultSpec, Nth, Probability
@@ -52,10 +54,13 @@ def _run_backend_death(ctx: ScenarioContext) -> dict:
     guest = xen.create_domain("memcached-xc")
     backend = xen.create_domain("netback", DomainKind.DRIVER)
     xen.grants.faults = ctx.engine
-    events = EventChannelTable(xen.costs, ctx.clock, faults=ctx.engine)
+    xen.grants.sanitizer = ctx.sanitizers
+    events = EventChannelTable(
+        xen.costs, ctx.clock, faults=ctx.engine, sanitizer=ctx.sanitizers
+    )
     driver = SplitNetDriver(
         guest, backend, xen.grants, events, xen.costs, ctx.clock,
-        faults=ctx.engine,
+        faults=ctx.engine, sanitizer=ctx.sanitizers,
     )
     remus = RemusReplicator(epoch_ms=25.0, faults=ctx.engine)
     nbytes = MEMCACHED.bytes_in + MEMCACHED.bytes_out
@@ -135,7 +140,7 @@ def _run_migration_storm(ctx: ScenarioContext) -> dict:
 
     xen = XenHypervisor(clock=ctx.clock)
 
-    def migrate(name: str, dirty_rate: float):
+    def migrate(name: str, dirty_rate: float) -> tuple[Any, Any]:
         domain = xen.create_domain(name, memory_mb=128)
         session = MigrationSession(
             domain,
@@ -272,10 +277,13 @@ def _run_grant_flaps(ctx: ScenarioContext) -> dict:
     guest = xen.create_domain("guest")
     backend = xen.create_domain("netback", DomainKind.DRIVER)
     xen.grants.faults = ctx.engine
-    events = EventChannelTable(xen.costs, ctx.clock)
+    xen.grants.sanitizer = ctx.sanitizers
+    events = EventChannelTable(
+        xen.costs, ctx.clock, sanitizer=ctx.sanitizers
+    )
     driver = SplitNetDriver(
         guest, backend, xen.grants, events, xen.costs, ctx.clock,
-        faults=ctx.engine,
+        faults=ctx.engine, sanitizer=ctx.sanitizers,
     )
     for _ in range(120):
         driver.transmit(1500)
@@ -339,6 +347,7 @@ def _run_spawn_timeouts(ctx: ScenarioContext) -> dict:
     from repro.xen.toolstack import Toolstack
 
     xen = XenHypervisor(clock=ctx.clock)
+    xen.grants.sanitizer = ctx.sanitizers
     toolstack = Toolstack(xen, faults=ctx.engine)
     per_domain_mb = 512
     for index in range(12):
@@ -435,7 +444,8 @@ def _run_abom_contention(ctx: ScenarioContext) -> dict:
     from repro.perf.trace import Tracer
 
     xc = XContainer(
-        CountingServices(results={}), clock=ctx.clock, faults=ctx.engine
+        CountingServices(results={}), clock=ctx.clock, faults=ctx.engine,
+        sanitizers=ctx.sanitizers,
     )
     tracer = Tracer(ctx.clock, capacity=256)
     xc.attach_tracer(tracer)
@@ -513,13 +523,17 @@ def _run_event_storm(ctx: ScenarioContext) -> dict:
     xen = XenHypervisor(clock=ctx.clock)
     guest = xen.create_domain("guest")
     backend = xen.create_domain("driver", DomainKind.DRIVER)
-    events = EventChannelTable(xen.costs, ctx.clock, faults=ctx.engine)
+    xen.grants.sanitizer = ctx.sanitizers
+    events = EventChannelTable(
+        xen.costs, ctx.clock, faults=ctx.engine, sanitizer=ctx.sanitizers
+    )
     net = SplitNetDriver(
         guest, backend, xen.grants, events, xen.costs, ctx.clock,
-        faults=ctx.engine,
+        faults=ctx.engine, sanitizer=ctx.sanitizers,
     )
     blk = SplitBlockDriver(
-        BlockStore(4096), xen.costs, ctx.clock, faults=ctx.engine
+        BlockStore(4096), xen.costs, ctx.clock, faults=ctx.engine,
+        sanitizer=ctx.sanitizers,
     )
     for _ in range(100):
         net.transmit(1500)

@@ -149,3 +149,65 @@ def validate(site: str, kind: str) -> None:
             f"site {site!r} does not support kind {kind!r} "
             f"(supported: {', '.join(info.kinds)})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Drift check: every catalog entry must match a live injector hook
+# ---------------------------------------------------------------------------
+
+def _constant_names() -> dict[str, str]:
+    """Site name → the UPPER_CASE constant it is exported as."""
+    return {
+        value: name
+        for name, value in globals().items()
+        if name.isupper() and isinstance(value, str) and value in SITES
+    }
+
+
+def verify_hooks() -> list[str]:
+    """Cross-check the catalog against the substrates' source.
+
+    A :class:`SiteInfo` whose substrate module no longer references its
+    constant (or no longer calls ``.fire(`` at all) is a *dead* catalog
+    entry: plans naming it would validate but inject nothing.  Returns
+    the list of drift descriptions (empty = catalog is live); import of
+    this module fails loudly on drift so the rot can't land silently.
+    """
+    from pathlib import Path
+
+    src_root = Path(__file__).resolve().parents[1]
+    constants = _constant_names()
+    problems: list[str] = []
+    for name in sorted(SITES):
+        info = SITES[name]
+        module_path = src_root / (info.substrate.replace(".", "/") + ".py")
+        if not module_path.is_file():
+            problems.append(
+                f"{name}: substrate module {module_path.name} is missing"
+            )
+            continue
+        source = module_path.read_text(encoding="utf-8")
+        constant = constants.get(name)
+        if constant is None:
+            problems.append(f"{name}: no exported site constant")
+            continue
+        if f"fault_sites.{constant}" not in source:
+            problems.append(
+                f"{name}: {info.substrate} never references "
+                f"fault_sites.{constant}"
+            )
+        elif ".fire(" not in source and ".run(" not in source:
+            problems.append(
+                f"{name}: {info.substrate} references the constant but "
+                "never fires or retries through it"
+            )
+    return problems
+
+
+_drift = verify_hooks()
+if _drift:
+    raise RuntimeError(
+        "fault-site catalog drifted from the substrates:\n  "
+        + "\n  ".join(_drift)
+    )
+del _drift

@@ -9,6 +9,7 @@ byte-identical output (the golden-file tests pin this).
 from __future__ import annotations
 
 import json
+from typing import Iterable
 
 from repro.obs.registry import (
     Histogram,
@@ -23,7 +24,7 @@ from repro.obs.tracing import SpanRecorder
 # ---------------------------------------------------------------------------
 
 
-def _prom_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+def _prom_labels(labels: Iterable[tuple[str, str]], extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = tuple(labels) + tuple(extra)
     if not items:
         return ""

@@ -10,6 +10,8 @@ and fault counters in one query.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.obs import exporters
 from repro.obs.registry import Registry
 from repro.obs.tracing import SpanRecorder
@@ -22,7 +24,7 @@ class Telemetry:
     def __init__(
         self,
         clock: SimClock | None = None,
-        tracer=None,
+        tracer: Any = None,
         span_capacity: int = 65536,
         **labels: object,
     ) -> None:
@@ -38,21 +40,21 @@ class Telemetry:
         """A label-scoped registry view (shares the store and spans)."""
         return self.registry.child(**labels)
 
-    def span(self, name: str, **labels: object):
+    def span(self, name: str, **labels: object) -> Any:
         return self.registry.span(name, **labels)
 
-    def attach_tracer(self, tracer) -> None:
+    def attach_tracer(self, tracer: Any) -> None:
         """Route span begin/end events into a flat Tracer as well."""
         self.spans.tracer = tracer
 
     # -- instruments (delegation for the common cases) ----------------
-    def counter(self, name: str, help: str = "", **labels: object):
+    def counter(self, name: str, help: str = "", **labels: object) -> Any:
         return self.registry.counter(name, help=help, **labels)
 
-    def gauge(self, name: str, help: str = "", **labels: object):
+    def gauge(self, name: str, help: str = "", **labels: object) -> Any:
         return self.registry.gauge(name, help=help, **labels)
 
-    def histogram(self, name: str, help: str = "", **labels: object):
+    def histogram(self, name: str, help: str = "", **labels: object) -> Any:
         return self.registry.histogram(name, help=help, **labels)
 
     def value(self, name: str, **labels: object) -> float:

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 #: Fixed log-scale nanosecond buckets: 16 ns · 4^k for k in [0, 13]
 #: (16 ns … ~17 min), the span between one interpreted instruction and
@@ -259,7 +259,14 @@ class Sample:
 
     __slots__ = ("name", "labels", "kind", "value", "help")
 
-    def __init__(self, name, labels, kind, value, help="") -> None:
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        kind: str,
+        value: Any,
+        help: str = "",
+    ) -> None:
         self.name = name
         self.labels = labels
         self.kind = kind
@@ -308,7 +315,14 @@ class Registry:
         return _canon_labels(merged)
 
     # -- instrument creation (get-or-create) ---------------------------
-    def _get_or_create(self, cls, name, labels, help, **kwargs):
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        labels: Mapping[str, object],
+        help: str,
+        **kwargs: Any,
+    ) -> Any:
         key = (name, self._labels(labels))
         existing = self._instruments.get(key)
         if existing is not None:
@@ -384,7 +398,7 @@ class Registry:
         )
 
     # -- spans ---------------------------------------------------------
-    def span(self, name: str, **labels: object):
+    def span(self, name: str, **labels: object) -> Any:
         """Open a span scoped with this registry's labels.
 
         ``registry.span("netfront.tx", domain="xc0")`` — requires a

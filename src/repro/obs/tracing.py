@@ -19,6 +19,7 @@ spans in the Chrome ``about://tracing`` / Perfetto event format.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.perf.clock import SimClock
 
@@ -54,7 +55,7 @@ class SpanRecorder:
     def __init__(
         self,
         clock: SimClock,
-        tracer=None,
+        tracer: Any = None,
         capacity: int = 65536,
     ) -> None:
         if capacity < 1:

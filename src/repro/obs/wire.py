@@ -17,6 +17,8 @@ can never drift apart.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.obs.registry import Registry
 
 # -- legacy-accessor key maps (old dict key -> metric name) -----------------
@@ -56,7 +58,7 @@ ICACHE_LEGACY: dict[str, str] = {
 # -- arch -------------------------------------------------------------------
 
 
-def wire_cpu(registry: Registry, cpu, index: int) -> None:
+def wire_cpu(registry: Registry, cpu: Any, index: int) -> None:
     """Decode-cache counters of one vCPU (``cpu`` label = its index)."""
     stats = cpu.icache_stats
     registry.bind(
@@ -126,7 +128,7 @@ def wire_cpu(registry: Registry, cpu, index: int) -> None:
 # -- core -------------------------------------------------------------------
 
 
-def wire_xkernel(registry: Registry, xkernel) -> None:
+def wire_xkernel(registry: Registry, xkernel: Any) -> None:
     stats = xkernel.stats
     registry.bind(
         "core_xkernel_syscalls_trapped_total",
@@ -151,7 +153,7 @@ def wire_xkernel(registry: Registry, xkernel) -> None:
     )
 
 
-def wire_abom(registry: Registry, abom) -> None:
+def wire_abom(registry: Registry, abom: Any) -> None:
     stats = abom.stats
     registry.bind_family(
         "core_abom_patches_total",
@@ -185,7 +187,7 @@ def wire_abom(registry: Registry, abom) -> None:
     )
 
 
-def wire_libos(registry: Registry, libos) -> None:
+def wire_libos(registry: Registry, libos: Any) -> None:
     stats = libos.stats
     registry.bind_family(
         "core_libos_syscalls_total",
@@ -216,7 +218,7 @@ def wire_libos(registry: Registry, libos) -> None:
 # -- xen --------------------------------------------------------------------
 
 
-def wire_ring_driver(registry: Registry, name: str, driver) -> None:
+def wire_ring_driver(registry: Registry, name: str, driver: Any) -> None:
     """Either split-driver flavour; fields resolved via the legacy maps."""
     stats = driver.stats
     legacy = (
@@ -234,7 +236,7 @@ def wire_ring_driver(registry: Registry, name: str, driver) -> None:
         )
 
 
-def wire_hypercall_table(registry: Registry, table) -> None:
+def wire_hypercall_table(registry: Registry, table: Any) -> None:
     """Per-name counts of a stock-Xen :class:`HypercallTable`."""
     registry.bind_family(
         "xen_hypercalls_total",
@@ -244,7 +246,7 @@ def wire_hypercall_table(registry: Registry, table) -> None:
     )
 
 
-def wire_events(registry: Registry, events) -> None:
+def wire_events(registry: Registry, events: Any) -> None:
     registry.bind(
         "xen_evtchn_hypercall_deliveries_total",
         lambda: events.hypercall_deliveries,
@@ -277,7 +279,7 @@ def wire_events(registry: Registry, events) -> None:
     )
 
 
-def wire_grants(registry: Registry, grants) -> None:
+def wire_grants(registry: Registry, grants: Any) -> None:
     registry.bind(
         "xen_grant_copies_total",
         lambda: grants.copies,
@@ -311,7 +313,7 @@ def wire_grants(registry: Registry, grants) -> None:
     )
 
 
-def wire_scheduler(registry: Registry, scheduler) -> None:
+def wire_scheduler(registry: Registry, scheduler: Any) -> None:
     registry.bind(
         "xen_sched_switches_total",
         lambda: scheduler.switches,
@@ -338,7 +340,7 @@ def wire_scheduler(registry: Registry, scheduler) -> None:
 # -- guest / net ------------------------------------------------------------
 
 
-def wire_netstack(registry: Registry, netstack) -> None:
+def wire_netstack(registry: Registry, netstack: Any) -> None:
     stats = netstack.stats
     registry.bind(
         "net_stack_requests_total",
@@ -371,7 +373,7 @@ def wire_netstack(registry: Registry, netstack) -> None:
     )
 
 
-def wire_http_server(registry: Registry, server) -> None:
+def wire_http_server(registry: Registry, server: Any) -> None:
     stats = server.stats
     registry.bind(
         "net_http_requests_total",
@@ -390,6 +392,35 @@ def wire_http_server(registry: Registry, server) -> None:
     )
 
 
+# -- sanitize ---------------------------------------------------------------
+
+
+def wire_sanitizers(registry: Registry, suite: Any) -> None:
+    """Expose a :class:`~repro.sanitize.suite.SanitizerSuite`'s counters.
+
+    One ``sanitize_*`` metric per suite stat (the same pairs ``stats()``
+    reports), plus a findings family labelled by checker — so a scrape
+    shows at a glance whether a run tripped any checker and how much
+    protocol traffic each one audited.
+    """
+    for name, _ in suite.stats():
+        registry.bind(
+            f"sanitize_{name}_total",
+            (lambda s=suite, n=name: dict(s.stats())[n]),
+            help="sanitizer suite counters (see docs/sanitizers.md)",
+        )
+    registry.bind_family(
+        "sanitize_findings_total",
+        "checker",
+        lambda: {
+            "race": len(suite.race.findings) if suite.race else 0,
+            "grants": len(suite.grants.findings) if suite.grants else 0,
+            "rings": len(suite.rings.findings) if suite.rings else 0,
+        },
+        help="sanitizer findings by checker",
+    )
+
+
 # -- faults -----------------------------------------------------------------
 
 _FAULT_LIFECYCLE = (
@@ -402,7 +433,7 @@ _FAULT_LIFECYCLE = (
 )
 
 
-def wire_faults(registry: Registry, engine) -> None:
+def wire_faults(registry: Registry, engine: Any) -> None:
     for field, metric, help_text in _FAULT_LIFECYCLE:
         registry.bind_family(
             metric,

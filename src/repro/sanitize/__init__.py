@@ -1,0 +1,47 @@
+"""Cross-vCPU sanitizer suite (always-deterministic dynamic checkers).
+
+Three checkers ride the existing substrate hooks, off by default and
+costing one attribute test when disabled:
+
+* :class:`~repro.sanitize.race.RaceDetector` — happens-before data-race
+  detection over shared pages (ring slots, grant frames, SMC text) with
+  per-actor vector clocks advanced by the model's real sync edges;
+* :class:`~repro.sanitize.grants.GrantSanitizer` — LSan-style grant
+  lifecycle balance (double-grant, use-after-end, double-unmap, leaks
+  at domain destroy);
+* :class:`~repro.sanitize.protocol.ProtocolChecker` — event/ring
+  protocol violations (lost-wakeup windows, descriptor reuse before
+  response consumption).
+
+:class:`~repro.sanitize.suite.SanitizerSuite` bundles them behind one
+wiring surface; :mod:`~repro.sanitize.harness` runs the chaos catalog
+and fig workloads under the suite (``repro sanitize``); and
+:mod:`~repro.sanitize.fixtures` holds the seeded-race units each
+checker must flag.
+"""
+
+from repro.sanitize.fixtures import FIXTURES, run_fixtures
+from repro.sanitize.grants import GrantSanitizer
+from repro.sanitize.harness import (
+    run_sanitize,
+    sanitize_chaos,
+    sanitize_workloads,
+)
+from repro.sanitize.protocol import ProtocolChecker
+from repro.sanitize.race import RaceDetector
+from repro.sanitize.report import SanitizeReport, SanitizeUnit
+from repro.sanitize.suite import SanitizerSuite
+
+__all__ = [
+    "FIXTURES",
+    "GrantSanitizer",
+    "ProtocolChecker",
+    "RaceDetector",
+    "SanitizeReport",
+    "SanitizeUnit",
+    "SanitizerSuite",
+    "run_fixtures",
+    "run_sanitize",
+    "sanitize_chaos",
+    "sanitize_workloads",
+]

@@ -1,0 +1,170 @@
+"""Grant-lifecycle sanitizer (LSan-style).
+
+Mirrors the grant table's per-reference state machine and flags the
+misuse classes §3.3's shared-memory channels are exposed to:
+
+* **double-unmap** — unmapping a reference the mapper does not hold;
+* **use-after-end** — mapping or copying through a reference after
+  ``end_access`` retired it (the TOCTOU window of a revoked grant);
+* **double-grant** — granting the same (owner, page) frame twice, which
+  would alias two references onto one frame;
+* **end-while-mapped** — revoking a grant the backend still has mapped;
+* **grant-leak** — references still live (or still mapped by the dying
+  domain) when ``destroy_domain`` runs, the LSan moment.
+
+The checker never consults the real :class:`~repro.xen.grant_table.GrantTable`
+state — it maintains its own mirror from the hook stream, so a table
+bug that corrupts internal state is still caught.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.safety import Finding, Severity
+
+
+class _GrantState:
+    __slots__ = ("owner", "page", "mapped_by", "last_unmapper", "ended", "copies")
+
+    def __init__(self, owner: int, page: int) -> None:
+        self.owner = owner
+        self.page = page
+        self.mapped_by: int | None = None
+        self.last_unmapper: int | None = None
+        self.ended = False
+        self.copies = 0
+
+
+class GrantSanitizer:
+    """Shadow grant table fed by hook calls from the real one."""
+
+    def __init__(self) -> None:
+        self._grants: dict[int, _GrantState] = {}
+        self._frames: dict[tuple[int, int], int] = {}
+        self.findings: list[Finding] = []
+        # Counters surfaced through repro.obs.
+        self.grants_issued = 0
+        self.maps = 0
+        self.unmaps = 0
+        self.copies = 0
+        self.ends = 0
+
+    # ------------------------------------------------------------------
+    # Hooks (called by GrantTable / XenHypervisor)
+    # ------------------------------------------------------------------
+    def on_grant(self, ref: int, owner: int, page: int) -> None:
+        self.grants_issued += 1
+        frame = (owner, page)
+        holder = self._frames.get(frame)
+        if holder is not None and not self._grants[holder].ended:
+            self._find(
+                "double-grant",
+                page,
+                f"dom{owner} granted frame {page:#x} twice "
+                f"(refs {holder} and {ref})",
+            )
+        self._frames[frame] = ref
+        self._grants[ref] = _GrantState(owner, page)
+
+    def on_map_attempt(self, ref: int) -> None:
+        state = self._grants.get(ref)
+        if state is not None and state.ended:
+            self._find(
+                "grant-use-after-end",
+                state.page,
+                f"map of ref {ref} after end_access retired it",
+            )
+
+    def on_map(self, ref: int, mapper: int) -> None:
+        self.maps += 1
+        state = self._grants.get(ref)
+        if state is not None:
+            state.mapped_by = mapper
+
+    def on_unmap_attempt(self, ref: int, mapper: int) -> None:
+        """Called only when the real table rejected the unmap.
+
+        An unmap of a never-mapped reference is idempotent reconnect
+        cleanup (the driver's ``_restart_backend`` path) — not misuse.
+        Misuse is unmapping *again* what the same domain already
+        unmapped, or unmapping through a retired reference.
+        """
+        state = self._grants.get(ref)
+        if state is None:
+            return
+        if state.ended:
+            self._find(
+                "grant-use-after-end",
+                state.page,
+                f"unmap of ref {ref} after end_access retired it",
+            )
+        elif state.mapped_by is None and state.last_unmapper == mapper:
+            self._find(
+                "grant-double-unmap",
+                state.page,
+                f"dom{mapper} unmapped ref {ref} twice",
+            )
+
+    def on_unmap(self, ref: int) -> None:
+        self.unmaps += 1
+        state = self._grants.get(ref)
+        if state is not None:
+            state.last_unmapper = state.mapped_by
+            state.mapped_by = None
+
+    def on_copy(self, ref: int) -> None:
+        self.copies += 1
+        state = self._grants.get(ref)
+        if state is None:
+            return
+        if state.ended:
+            self._find(
+                "grant-use-after-end",
+                state.page,
+                f"grant-copy through ref {ref} after end_access retired it",
+            )
+        state.copies += 1
+
+    def on_end(self, ref: int) -> None:
+        self.ends += 1
+        state = self._grants.get(ref)
+        if state is None:
+            return
+        if state.ended:
+            # The real table ignores end_access of an unknown ref by
+            # design, so a second end is idempotent cleanup, not misuse.
+            return
+        if state.mapped_by is not None:
+            # The real table raises and keeps the grant alive, so the
+            # mirror must not retire it either.
+            self._find(
+                "grant-end-while-mapped",
+                state.page,
+                f"end_access of ref {ref} while dom{state.mapped_by} "
+                "still maps it",
+            )
+            return
+        state.ended = True
+
+    def on_domain_destroy(self, domid: int) -> None:
+        """LSan moment: every live reference touching ``domid`` is a leak."""
+        for ref in sorted(self._grants):
+            state = self._grants[ref]
+            if state.ended:
+                continue
+            if state.owner == domid or state.mapped_by == domid:
+                role = "owned" if state.owner == domid else "mapped"
+                self._find(
+                    "grant-leak",
+                    state.page,
+                    f"ref {ref} ({role} by dom{domid}, frame "
+                    f"{state.page:#x}) still live at domain destroy",
+                )
+                state.ended = True
+
+    # ------------------------------------------------------------------
+    def live_refs(self) -> list[int]:
+        """References not yet retired (for tests)."""
+        return sorted(r for r, s in self._grants.items() if not s.ended)
+
+    def _find(self, kind: str, site: int, message: str) -> None:
+        self.findings.append(Finding(Severity.ERROR, kind, site, message))

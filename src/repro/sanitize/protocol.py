@@ -1,0 +1,176 @@
+"""Event/ring protocol checker.
+
+Models each split-driver ring as the triple the PR 4 batching contract
+is written against::
+
+    prod         descriptors published by the frontend
+    cons         responses consumed (reaped) by the frontend
+    kicked_upto  highest ``prod`` value covered by a delivered kick
+
+and checks two protocol violations:
+
+* **lost wakeup** — at a quiescence point (consumer goes to sleep, ring
+  teardown, end of run) the producer has advanced past both the consumer
+  and the last kick: work sits in the ring with no notification pending,
+  so the consumer would sleep forever.  A *dropped* kick that the retry
+  path re-sends is not a finding — drops are counted, and the check only
+  runs at quiescence, after retries had their chance.
+* **descriptor reuse** — the producer publishes more than ``size``
+  descriptors beyond the consumer, overwriting a slot whose response has
+  not been consumed.
+
+Aborted trains (the driver's unwind path after an injected kill) retract
+their published-but-unkicked descriptors via :meth:`RingState.abort`, so
+a recovered fault leaves the mirror consistent with the driver's own
+``_in_flight`` accounting.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.safety import Finding, Severity
+
+
+class RingState:
+    __slots__ = (
+        "name", "size", "page", "slot_bytes",
+        "prod", "cons", "kicked_upto",
+        "kicks", "kicks_lost", "aborted",
+    )
+
+    def __init__(self, name: str, size: int, page: int, slot_bytes: int) -> None:
+        self.name = name
+        self.size = size
+        self.page = page
+        self.slot_bytes = slot_bytes
+        self.prod = 0
+        self.cons = 0
+        self.kicked_upto = 0
+        self.kicks = 0
+        self.kicks_lost = 0
+        self.aborted = 0
+
+    def slot_addr(self, index: int) -> int:
+        """Simulated address of descriptor slot ``index`` (mod ring size)."""
+        return self.page + (index % self.size) * self.slot_bytes
+
+
+class ProtocolChecker:
+    """Shadow ring/event state machine fed by driver hooks."""
+
+    def __init__(self) -> None:
+        self._rings: dict[str, RingState] = {}
+        self.findings: list[Finding] = []
+        # Counters surfaced through repro.obs.
+        self.publishes = 0
+        self.consumes = 0
+        self.event_sends = 0
+        self.event_drops = 0
+        self.event_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # Ring lifecycle
+    # ------------------------------------------------------------------
+    def ring_register(
+        self, name: str, size: int, page: int, slot_bytes: int
+    ) -> RingState:
+        ring = self._rings.get(name)
+        if ring is None:
+            ring = RingState(name, size, page, slot_bytes)
+            self._rings[name] = ring
+        return ring
+
+    def ring(self, name: str) -> RingState | None:
+        return self._rings.get(name)
+
+    def rings(self) -> list[RingState]:
+        return [self._rings[name] for name in sorted(self._rings)]
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def ring_publish(self, name: str) -> int:
+        """Frontend pushed one descriptor; returns its slot index."""
+        ring = self._rings[name]
+        index = ring.prod
+        ring.prod += 1
+        self.publishes += 1
+        if ring.prod - ring.cons > ring.size:
+            self._find(
+                "ring-descriptor-reuse",
+                ring.slot_addr(index),
+                f"{name}: producer at {ring.prod} overran consumer at "
+                f"{ring.cons} (ring size {ring.size}) — descriptor reused "
+                "before its response was consumed",
+            )
+            # Resynchronize so one overrun yields one finding, not a
+            # finding per subsequent publish.
+            ring.cons = ring.prod - ring.size
+        return index
+
+    def ring_kick(self, name: str) -> None:
+        """Notification for everything published so far was delivered."""
+        ring = self._rings[name]
+        ring.kicked_upto = ring.prod
+        ring.kicks += 1
+
+    def ring_kick_lost(self, name: str) -> None:
+        """A kick was dropped (fault injection).  Counted, not a finding:
+        the retry path is expected to re-kick before quiescence."""
+        self._rings[name].kicks_lost += 1
+        self.event_drops += 1
+
+    def ring_abort(self, name: str, pushed: int) -> None:
+        """Unwind ``pushed`` descriptors after a failed train."""
+        ring = self._rings[name]
+        ring.prod = max(ring.cons, ring.prod - pushed)
+        ring.aborted += pushed
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def ring_consume(self, name: str, count: int) -> None:
+        ring = self._rings[name]
+        ring.cons = min(ring.prod, ring.cons + count)
+        self.consumes += count
+
+    def ring_drain(self, name: str) -> None:
+        """Backend synchronously drained the ring (the stall path)."""
+        ring = self._rings[name]
+        self.consumes += ring.prod - ring.cons
+        ring.cons = ring.prod
+        ring.kicked_upto = ring.prod
+
+    def ring_quiesce(self, name: str) -> None:
+        """Consumer is going to sleep (or the run is ending): any
+        published-but-unkicked work is now a lost wakeup."""
+        ring = self._rings[name]
+        if ring.prod > ring.cons and ring.prod > ring.kicked_upto:
+            self._find(
+                "ring-lost-wakeup",
+                ring.slot_addr(ring.cons),
+                f"{name}: {ring.prod - ring.cons} descriptors in flight "
+                f"but last kick covered only {ring.kicked_upto} of "
+                f"{ring.prod} — consumer would sleep forever",
+            )
+            # One finding per window.
+            ring.kicked_upto = ring.prod
+
+    def quiesce_all(self) -> None:
+        for name in sorted(self._rings):
+            self.ring_quiesce(name)
+
+    # ------------------------------------------------------------------
+    # Event-channel accounting
+    # ------------------------------------------------------------------
+    def on_event_send(self, port: int) -> None:
+        self.event_sends += 1
+
+    def on_event_drop(self, port: int) -> None:
+        self.event_drops += 1
+
+    def on_event_deliver(self, port: int) -> None:
+        self.event_deliveries += 1
+
+    # ------------------------------------------------------------------
+    def _find(self, kind: str, site: int, message: str) -> None:
+        self.findings.append(Finding(Severity.ERROR, kind, site, message))

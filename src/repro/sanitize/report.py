@@ -1,0 +1,97 @@
+"""Sanitizer run reports — deterministic, diffable, CI-gateable.
+
+Mirrors ``repro.faults.report``: one frozen :class:`SanitizeUnit` per
+sanitized target (chaos scenario, workload, or fixture), one frozen
+:class:`SanitizeReport` per run, byte-identical renders for the same
+seed.  ``repro sanitize`` exits non-zero iff :attr:`SanitizeReport.clean`
+is False.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.safety import Finding
+
+_RULE = "-" * 72
+
+
+@dataclass(frozen=True)
+class SanitizeUnit:
+    """Sanitizer outcome for one target (scenario/workload/fixture)."""
+
+    name: str
+    outcome: str
+    stats: tuple[tuple[str, int], ...]
+    findings: tuple[Finding, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "outcome": self.outcome,
+            "stats": {k: v for k, v in self.stats},
+            "findings": [
+                {
+                    "severity": f.severity.name,
+                    "kind": f.kind,
+                    "site": f.site,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+            "clean": self.clean,
+        }
+
+
+@dataclass(frozen=True)
+class SanitizeReport:
+    """All sanitized units for one run seed."""
+
+    seed: int | str
+    units: tuple[SanitizeUnit, ...]
+
+    @property
+    def clean(self) -> bool:
+        return all(unit.clean for unit in self.units)
+
+    @property
+    def total_findings(self) -> int:
+        return sum(len(unit.findings) for unit in self.units)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "units": [unit.as_dict() for unit in self.units],
+            "total_findings": self.total_findings,
+            "clean": self.clean,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"sanitize run  seed={self.seed}  units={len(self.units)}",
+            _RULE,
+            f"{'unit':<34}{'outcome':<20}{'findings':>10}",
+            _RULE,
+        ]
+        for unit in self.units:
+            lines.append(
+                f"{unit.name:<34}{unit.outcome:<20}{len(unit.findings):>10}"
+            )
+            for key, value in unit.stats:
+                if value:
+                    lines.append(f"    {key} = {value}")
+            for finding in unit.findings:
+                lines.append(f"    !! {finding.render()}")
+        lines.append(_RULE)
+        verdict = (
+            "CLEAN"
+            if self.clean
+            else f"FINDINGS: {self.total_findings} in "
+            + ", ".join(u.name for u in self.units if not u.clean)
+        )
+        lines.append(verdict)
+        return "\n".join(lines) + "\n"

@@ -148,6 +148,7 @@ class SplitBlockDriver:
         split: bool = True,
         faults=None,
         retry: RetryPolicy | None = None,
+        sanitizer=None,
     ) -> None:
         self.store = store
         self.costs = costs or CostModel()
@@ -156,8 +157,19 @@ class SplitBlockDriver:
         #: Optional :class:`repro.faults.plan.FaultEngine`.
         self.faults = faults
         self.retry = retry or RetryPolicy()
+        #: Optional :class:`repro.sanitize.suite.SanitizerSuite` — only
+        #: meaningful on the split path (the native device-mapper path
+        #: has no ring protocol to check).
+        self.sanitizer = sanitizer if split else None
         self.stats = BlockStats()
         self.backend_alive = True
+        self._frontend_actor = "blkfront"
+        self._backend_actor = "blkback"
+        self._ring_name = "blk"
+        if self.sanitizer is not None:
+            self._ring_name = self.sanitizer.ring_register(
+                self._ring_name, 256, 16
+            )
 
     def bind_telemetry(self, registry, name: str = "blk") -> None:
         """Expose the ``xen_ring_*`` metrics with ``driver=name``."""
@@ -245,16 +257,31 @@ class SplitBlockDriver:
     def _read_many_once(
         self, batch: Sequence[tuple[int, int]]
     ) -> bytes | list[bytes]:
+        san = self.sanitizer
+        if san is not None:
+            san.ring_batch_start(self._ring_name, self._frontend_actor)
         results = []
         total = 0
-        for sector, count in batch:
-            self._ring_entry("read")
-            out = b"".join(
-                self.store.read_sector(sector + i) for i in range(count)
-            )
-            results.append(out)
-            total += len(out)
-            self.stats.reads += 1
+        pushed = 0
+        try:
+            for sector, count in batch:
+                self._ring_entry("read")
+                if san is not None:
+                    san.ring_publish(self._ring_name, self._frontend_actor)
+                    pushed += 1
+                out = b"".join(
+                    self.store.read_sector(sector + i) for i in range(count)
+                )
+                results.append(out)
+                total += len(out)
+                self.stats.reads += 1
+        except BaseException:
+            if san is not None:
+                san.ring_abort(self._ring_name, pushed)
+            raise
+        if san is not None:
+            san.ring_kick(self._ring_name, self._frontend_actor)
+            san.ring_reap(self._ring_name, self._backend_actor, len(batch))
         self.stats.bytes_moved += total
         self.stats.batches += 1
         self.stats.kicks_saved += len(batch) - 1
@@ -300,16 +327,31 @@ class SplitBlockDriver:
         )
 
     def _write_many_once(self, batch: Sequence[tuple[int, bytes]]) -> None:
+        san = self.sanitizer
+        if san is not None:
+            san.ring_batch_start(self._ring_name, self._frontend_actor)
         total = 0
-        for sector, data in batch:
-            self._ring_entry("write")
-            for i in range(len(data) // SECTOR_SIZE):
-                self.store.write_sector(
-                    sector + i,
-                    data[i * SECTOR_SIZE : (i + 1) * SECTOR_SIZE],
-                )
-            self.stats.writes += 1
-            total += len(data)
+        pushed = 0
+        try:
+            for sector, data in batch:
+                self._ring_entry("write")
+                if san is not None:
+                    san.ring_publish(self._ring_name, self._frontend_actor)
+                    pushed += 1
+                for i in range(len(data) // SECTOR_SIZE):
+                    self.store.write_sector(
+                        sector + i,
+                        data[i * SECTOR_SIZE : (i + 1) * SECTOR_SIZE],
+                    )
+                self.stats.writes += 1
+                total += len(data)
+        except BaseException:
+            if san is not None:
+                san.ring_abort(self._ring_name, pushed)
+            raise
+        if san is not None:
+            san.ring_kick(self._ring_name, self._frontend_actor)
+            san.ring_reap(self._ring_name, self._backend_actor, len(batch))
         self.stats.bytes_moved += total
         self.stats.batches += 1
         self.stats.kicks_saved += len(batch) - 1

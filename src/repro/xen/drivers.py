@@ -100,6 +100,7 @@ class SplitNetDriver:
         clock: SimClock | None = None,
         faults=None,
         retry: RetryPolicy | None = None,
+        sanitizer=None,
     ) -> None:
         self.guest = guest
         self.backend = backend
@@ -110,9 +111,20 @@ class SplitNetDriver:
         #: Optional :class:`repro.faults.plan.FaultEngine`.
         self.faults = faults
         self.retry = retry or RetryPolicy()
+        #: Optional :class:`repro.sanitize.suite.SanitizerSuite`; mirrors
+        #: the ring protocol (publish/kick/reap) and attributes slot
+        #: accesses to the frontend/backend domains.
+        self.sanitizer = sanitizer
         self.stats = RingStats()
         self.backend_alive = True
         self._in_flight = 0
+        self._frontend_actor = f"dom{guest.domid}"
+        self._backend_actor = f"dom{backend.domid}"
+        self._ring_name = f"net:g{guest.domid}b{backend.domid}"
+        if sanitizer is not None:
+            self._ring_name = sanitizer.ring_register(
+                self._ring_name, RING_SIZE, 16
+            )
         # The shared ring page: granted by the guest, mapped by the backend.
         self._ring_grant = grants.grant_access(guest.domid, 0xF000)
         grants.map_grant(self._ring_grant, backend.domid)
@@ -175,6 +187,9 @@ class SplitNetDriver:
     def _transmit_batch_once(self, batch: Sequence[int]) -> float:
         if not self.backend_alive:
             self._restart_backend()
+        san = self.sanitizer
+        if san is not None:
+            san.ring_batch_start(self._ring_name, self._frontend_actor)
         cost = (
             self.costs.ring_batch_fixed_ns
             + len(batch) * self.costs.ring_per_desc_ns
@@ -204,21 +219,37 @@ class SplitNetDriver:
                     self.stats.ring_full_stalls += 1
                     cost += self.costs.netfront_ns
                     self._in_flight = 0
+                    if san is not None:
+                        san.ring_stall_drain(
+                            self._ring_name,
+                            self._frontend_actor,
+                            self._backend_actor,
+                        )
                 self._in_flight += 1
                 pushed += 1
+                if san is not None:
+                    san.ring_publish(self._ring_name, self._frontend_actor)
             # One kick for the whole descriptor train; delivery of any
             # other producers' pending events rides the same flush.
             with self.events.batch():
                 if not self.events.send(self._event_port):
+                    if san is not None:
+                        san.ring_kick_lost(self._ring_name)
                     raise NotificationLost(
                         f"kick lost on port {self._event_port}"
                     )
+            if san is not None:
+                san.ring_kick(self._ring_name, self._frontend_actor)
         except BaseException:
             # Unwind the push; the mid-push ring-full reset may have
             # already zeroed the occupancy counter, so clamp at empty.
             self._in_flight = max(0, self._in_flight - pushed)
+            if san is not None:
+                san.ring_abort(self._ring_name, pushed)
             raise
         # Reap: every response completes in the same service pass.
+        if san is not None:
+            san.ring_reap(self._ring_name, self._backend_actor, len(batch))
         self.stats.requests += len(batch)
         self.stats.responses += len(batch)
         self.stats.bytes_moved += sum(batch)
@@ -264,6 +295,10 @@ class SplitNetDriver:
         )
 
     def close(self) -> None:
+        if self.sanitizer is not None:
+            # Teardown is a quiescence point: published-but-unkicked
+            # descriptors would never wake the backend again.
+            self.sanitizer.ring_quiesce(self._ring_name)
         try:
             self.grants.unmap_grant(self._ring_grant, self.backend.domid)
             self.grants.end_access(self._ring_grant)

@@ -45,12 +45,17 @@ class EventChannelTable:
         costs: CostModel | None = None,
         clock: SimClock | None = None,
         faults=None,
+        sanitizer=None,
     ) -> None:
         self.costs = costs or CostModel()
         self.clock = clock
         #: Optional :class:`repro.faults.plan.FaultEngine`; ``None`` keeps
         #: every hook a single attribute test.
         self.faults = faults
+        #: Optional :class:`repro.sanitize.suite.SanitizerSuite`; sends
+        #: are release edges and deliveries acquire edges for the
+        #: happens-before detector.  Same single-attribute-test budget.
+        self.sanitizer = sanitizer
         self._channels: dict[int, EventChannel] = {}
         self._next_port = 1
         #: The shared "any event pending" variable.
@@ -138,10 +143,14 @@ class EventChannelTable:
             if fault is not None:
                 if fault.kind == "drop":
                     self.notifications_dropped += 1
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_event_drop(port)
                     return False
                 if fault.kind == "delay":
                     self.notifications_delayed += 1
                     self._charge(fault.param)
+        if self.sanitizer is not None:
+            self.sanitizer.on_event_send(port)
         channel.pending += 1
         if self._batch_depth > 0 and self.evtchn_upcall_pending:
             # The shared variable is already set; this notify rides the
@@ -173,6 +182,8 @@ class EventChannelTable:
                     # emulate the interrupt stack frame: a few stores.
                     self._charge(6 * self.costs.instruction_ns)
                     self.direct_deliveries += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_event_deliver(channel.port)
                 channel.handler()
         self.evtchn_upcall_pending = False
         return delivered

@@ -47,10 +47,16 @@ class GrantCopyError(GrantError):
 class GrantTable:
     """Grant bookkeeping for one hypervisor instance."""
 
-    def __init__(self, hypercalls: HypercallTable, faults=None) -> None:
+    def __init__(
+        self, hypercalls: HypercallTable, faults=None, sanitizer=None
+    ) -> None:
         self.hypercalls = hypercalls
         #: Optional :class:`repro.faults.plan.FaultEngine`.
         self.faults = faults
+        #: Optional :class:`repro.sanitize.suite.SanitizerSuite`; feeds
+        #: the grant-lifecycle mirror.  ``None`` keeps every hook a
+        #: single attribute test.
+        self.sanitizer = sanitizer
         self._grants: dict[int, GrantRef] = {}
         self._next_ref = 1
         self.map_failures = 0
@@ -73,9 +79,15 @@ class GrantTable:
         ref = self._next_ref
         self._next_ref += 1
         self._grants[ref] = GrantRef(ref, owner_domid, page_addr, readonly)
+        if self.sanitizer is not None:
+            self.sanitizer.on_grant(ref, owner_domid, page_addr)
         return ref
 
     def map_grant(self, ref: int, mapper_domid: int) -> GrantRef:
+        if self.sanitizer is not None:
+            # Before the existence check: mapping a retired ref raises
+            # "no such grant", but the mirror knows it was ended.
+            self.sanitizer.on_map_attempt(ref)
         grant = self._grants.get(ref)
         if grant is None:
             raise GrantError(f"no such grant ref {ref}")
@@ -95,6 +107,8 @@ class GrantTable:
                 )
         self.hypercalls.call("grant_table_op")
         grant.mapped_by = mapper_domid
+        if self.sanitizer is not None:
+            self.sanitizer.on_map(ref, mapper_domid)
         return grant
 
     def copy_grant(self, ref: int, requester_domid: int, nbytes: int) -> int:
@@ -105,6 +119,8 @@ class GrantTable:
         """
         if nbytes < 0:
             raise ValueError(f"negative copy size: {nbytes}")
+        if self.sanitizer is not None:
+            self.sanitizer.on_copy(ref)
         grant = self._grants.get(ref)
         if grant is None:
             raise GrantError(f"no such grant ref {ref}")
@@ -142,6 +158,8 @@ class GrantTable:
         for nbytes in ops:
             if nbytes < 0:
                 raise ValueError(f"negative copy size: {nbytes}")
+        if self.sanitizer is not None and ops:
+            self.sanitizer.on_copy(ref)
         grant = self._grants.get(ref)
         if grant is None:
             raise GrantError(f"no such grant ref {ref}")
@@ -170,15 +188,22 @@ class GrantTable:
 
     def unmap_grant(self, ref: int, mapper_domid: int) -> None:
         grant = self._grants.get(ref)
-        if grant is None:
-            raise GrantError(f"no such grant ref {ref}")
-        if grant.mapped_by != mapper_domid:
+        if grant is None or grant.mapped_by != mapper_domid:
+            if self.sanitizer is not None:
+                self.sanitizer.on_unmap_attempt(ref, mapper_domid)
+            if grant is None:
+                raise GrantError(f"no such grant ref {ref}")
             raise GrantError(f"grant {ref} not mapped by domain {mapper_domid}")
         self.hypercalls.call("grant_table_op")
         grant.mapped_by = None
+        if self.sanitizer is not None:
+            self.sanitizer.on_unmap(ref, mapper_domid)
 
     def end_access(self, ref: int) -> None:
         grant = self._grants.get(ref)
+        if self.sanitizer is not None:
+            owner = -1 if grant is None else grant.owner_domid
+            self.sanitizer.on_end(ref, owner)
         if grant is None:
             return
         if grant.mapped_by is not None:

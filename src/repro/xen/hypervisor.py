@@ -92,6 +92,10 @@ class XenHypervisor:
     def destroy_domain(self, domid: int) -> None:
         if domid == 0:
             raise ValueError("cannot destroy Domain-0")
+        if self.grants.sanitizer is not None:
+            # LSan moment: grants still live against the dying domain
+            # can never be cleaned up now.
+            self.grants.sanitizer.on_domain_destroy(domid)
         self._domains.pop(domid, None)
 
     def domain(self, domid: int) -> Domain:

@@ -87,6 +87,40 @@ class TestByteDiff:
         assert result.decision_mismatches
 
 
+class TestTraceCacheDiff:
+    """The trace cache is an optimization, never a semantic change."""
+
+    def test_figure2_identical_with_and_without_trace_cache(self):
+        result = run_differential(EXAMPLES["figure2"].build())
+        assert result.ok
+        assert result.tracecache_trap_mismatches == []
+        assert result.tracecache_byte_mismatches == []
+
+    def test_all_safe_examples_cache_neutral(self):
+        for example in EXAMPLES.values():
+            if not (example.safe and example.runnable):
+                continue
+            result = run_differential(example.build())
+            assert result.tracecache_trap_mismatches == [], example.name
+            assert result.tracecache_byte_mismatches == [], example.name
+
+    def test_tracecache_divergence_would_fail_ok(self):
+        result = run_differential(EXAMPLES["patched_loop"].build())
+        assert result.ok
+        doctored = dataclasses.replace(
+            result, tracecache_trap_mismatches=[0x400000]
+        )
+        assert not doctored.ok
+
+    def test_report_dict_carries_tracecache_fields(self):
+        from repro.analysis.report import analyze
+
+        report = analyze(EXAMPLES["patched_loop"].build())
+        diff = report.as_dict()["differential"]
+        assert diff["tracecache_trap_mismatches"] == 0
+        assert diff["tracecache_byte_mismatch_regions"] == 0
+
+
 class TestOfflineConvergence:
     def test_patch_discovered_matches_symbol_list_patching(self):
         """Discovered-site patching == the paper's symbol-list workflow."""

@@ -1,0 +1,134 @@
+"""The determinism lint: wall-clock, unseeded randomness, set iteration."""
+
+from pathlib import Path
+
+from repro.analysis.lint import (
+    ALLOWLIST,
+    LintIssue,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def rules(source):
+    return [issue.rule for issue in lint_source(source)]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules("import time\nx = time.time()\n") == ["wall-clock"]
+
+    def test_perf_counter_flagged(self):
+        assert rules("import time\nx = time.perf_counter()\n") == [
+            "wall-clock"
+        ]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nx = datetime.now()\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_from_time_import_flagged(self):
+        assert rules("from time import time\n") == ["wall-clock"]
+
+    def test_sim_clock_usage_clean(self):
+        src = (
+            "from repro.perf.clock import SimClock\n"
+            "clock = SimClock()\n"
+            "now = clock.now_ns\n"
+        )
+        assert rules(src) == []
+
+    def test_non_clock_time_attribute_clean(self):
+        # `time.sleep` does not read the clock; not this lint's business.
+        assert rules("import time\ntime.sleep(0)\n") == []
+
+
+class TestUnseededRandom:
+    def test_module_level_random_flagged(self):
+        src = "import random\nx = random.randint(0, 9)\n"
+        assert rules(src) == ["unseeded-random"]
+
+    def test_unseeded_random_instance_flagged(self):
+        src = "import random\nrng = random.Random()\n"
+        assert rules(src) == ["unseeded-random"]
+
+    def test_seeded_random_instance_clean(self):
+        src = "import random\nrng = random.Random(42)\n"
+        assert rules(src) == []
+
+    def test_numpy_module_level_random_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules(src) == ["unseeded-random"]
+
+    def test_uuid4_and_urandom_flagged(self):
+        src = "import os, uuid\na = uuid.uuid4()\nb = os.urandom(8)\n"
+        assert rules(src) == ["unseeded-random", "unseeded-random"]
+
+    def test_deterministic_rng_clean(self):
+        src = (
+            "from repro.perf.rand import DeterministicRng\n"
+            "rng = DeterministicRng('seed').fork('body')\n"
+        )
+        assert rules(src) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert rules("for x in {1, 2, 3}:\n    pass\n") == [
+            "set-iteration"
+        ]
+
+    def test_for_over_set_call_flagged(self):
+        assert rules("for x in set([1, 2]):\n    pass\n") == [
+            "set-iteration"
+        ]
+
+    def test_comprehension_over_set_flagged(self):
+        assert rules("ys = [x for x in frozenset((1, 2))]\n") == [
+            "set-iteration"
+        ]
+
+    def test_sorted_set_iteration_clean(self):
+        assert rules("for x in sorted(set([2, 1])):\n    pass\n") == []
+
+    def test_dict_and_list_iteration_clean(self):
+        assert rules("for x in {'a': 1}:\n    pass\nfor y in [1]:\n    pass\n") == []
+
+
+class TestRepositoryGate:
+    def test_simulation_sources_are_lint_clean(self):
+        issues = lint_paths([REPO_SRC])
+        assert issues == [], "\n".join(i.render() for i in issues)
+
+    def test_allowlist_paths_are_skipped(self, tmp_path):
+        shadow = tmp_path / "repro"
+        (shadow / "obs").mkdir(parents=True)
+        (shadow / "cli.py").write_text("import time\nt = time.time()\n")
+        (shadow / "obs" / "exporters.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        (shadow / "sim.py").write_text("import time\nt = time.time()\n")
+        issues = lint_paths([shadow])
+        assert [Path(i.path).name for i in issues] == ["sim.py"]
+        assert any(s.endswith("cli.py") for s in ALLOWLIST)
+
+    def test_issues_sort_deterministically(self):
+        src = "import time\nb = time.time()\na = time.time()\n"
+        first = lint_source(src, "m.py")
+        assert first == sorted(
+            first, key=lambda i: (i.path, i.line, i.rule, i.message)
+        )
+        assert isinstance(first[0], LintIssue)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out
