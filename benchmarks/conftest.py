@@ -51,6 +51,7 @@ SEED_BASELINE = {
     # results section instead of silently omitting them.
     "test_e2e_http_throughput": None,
     "test_ring_batch_ablation": None,
+    "test_serve_fleet_request_rate": None,
 }
 
 

@@ -27,7 +27,10 @@ DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_interpreter.json"
 
 #: Benchmarks additionally gated against their recorded best (not just
 #: the frozen seed): a tentpole optimization must not quietly erode.
-REGRESSION_GATED = ("test_interpreter_instruction_rate",)
+REGRESSION_GATED = (
+    "test_interpreter_instruction_rate",
+    "test_serve_fleet_request_rate",
+)
 
 
 def render_table(payload: dict, threshold: float) -> tuple[str, list[str]]:

@@ -1,0 +1,21 @@
+"""Bench: serving-fleet request throughput (simulated + wall-clock).
+
+``ops_per_sec`` here is wall-clock: completed requests divided by the
+engine's real run time — the number the regression gate watches so the
+sharded control loop never quietly slows down.  ``simulated_rps`` (the
+fleet's in-model throughput) rides along as an extra column.
+"""
+
+from repro.serve import run_serve
+
+
+def test_serve_fleet_request_rate(once, record_rate, benchmark):
+    report = once(lambda: run_serve("ci-small", seed=0, workers=1))
+    result = report.result
+    assert result.slo_ok
+    assert result.conservation_ok
+    record_rate(
+        benchmark,
+        result.completed,
+        simulated_rps=round(result.simulated_rps, 1),
+    )

@@ -31,7 +31,8 @@ exit codes:
   0  success (analyze: all findings safe; chaos: all scenarios recovered)
   1  gate failure (analyze: unsafe finding or differential mismatch;
      chaos: unrecovered scenario or missing core-substrate coverage;
-     sanitize: any finding — or, for fixtures, a silenced checker)
+     sanitize: any finding — or, for fixtures, a silenced checker;
+     serve: SLO missed or director accounting unbalanced)
   2  usage error (unknown subcommand/argument; raised by argparse)
 """
 
@@ -213,6 +214,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a serving-fleet scenario (IPVS director + N backends).
+
+    Open-loop seeded traffic, metrics-driven autoscaling, optional
+    chaos overlay.  Same seed + same scenario ⇒ byte-identical report
+    regardless of ``--workers``; exits 1 when the run misses its SLO
+    (no post-chaos recovery inside the window) or the director's
+    accounting fails to balance.
+    """
+    from repro.obs import prometheus_text
+    from repro.serve import SCENARIOS, run_serve
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:12s} {scenario.description}")
+        return 0
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise SystemExit(
+            f"unknown serve scenario {args.scenario!r} (known: {known})"
+        )
+    report = run_serve(args.scenario, seed=args.seed, workers=args.workers)
+    if args.prometheus:
+        _emit(args, prometheus_text(report.result.telemetry.registry))
+    elif args.format == "json":
+        _emit(args, _json_text(report.as_dict()))
+    else:
+        _emit(args, report.render())
+    if not report.result.slo_ok or not report.result.conservation_ok:
+        return 1
+    return 0
+
+
 def cmd_sanitize(args: argparse.Namespace) -> int:
     """Run the cross-vCPU sanitizer suite over end-to-end workloads.
 
@@ -356,6 +390,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list the scenario catalog"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="run a serving-fleet scenario (IPVS + autoscaler)",
+        parents=[common_output],
+    )
+    serve.add_argument(
+        "scenario", nargs="?", default="ci-small",
+        help="scenario to run (default: ci-small; see --list)",
+    )
+    serve.add_argument(
+        "--seed", default="0",
+        help="run seed; same seed + same scenario replays byte-identically",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the arrival shards (default: host "
+             "cores; never changes results, only wall-clock speed)",
+    )
+    serve.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the run's metrics registry as Prometheus text "
+             "(latency histogram, counters, gauges) instead of a report",
+    )
+    serve.add_argument(
+        "--list", action="store_true", help="list the scenario catalog"
+    )
+    serve.set_defaults(func=cmd_serve)
 
     sanitize = sub.add_parser(
         "sanitize", help="run the cross-vCPU sanitizer suite",

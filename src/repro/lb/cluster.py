@@ -1,6 +1,8 @@
-"""The Fig 9 cluster: one load balancer in front of three NGINX servers.
+"""The general N-backend load-balanced fleet model (Fig 9 and beyond).
 
-Four configurations:
+The paper's Fig 9 cluster — one load balancer in front of three NGINX
+servers — is the ``n_backends=3`` instance of this model.  Four
+configurations:
 
 * ``docker-haproxy`` — HAProxy in a Docker container;
 * ``xcontainer-haproxy`` — HAProxy in an X-Container;
@@ -11,7 +13,11 @@ Four configurations:
   the NGINX backends (§5.7: "+12 %" then "another factor of 2.5").
 
 System throughput is the min of director capacity and aggregate backend
-capacity; each component is pinned to one vCPU as in the paper.
+capacity; each component is pinned to one vCPU as in the paper.  The
+``repro.serve`` fleet scenarios reuse the same per-component service
+costs (:meth:`LoadBalancedCluster.backend_service_ns` /
+:meth:`LoadBalancedCluster.director_service_ns`) so the Fig 9 numbers
+and the fleet-scale simulation share one cost model.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from repro.lb.haproxy import HAProxyModel
 from repro.platforms.base import Platform
 from repro.platforms.docker import DockerPlatform
 from repro.platforms.x_container import XContainerPlatform
-from repro.workloads.base import ServerModel
+from repro.workloads.base import RequestProfile, ServerModel
 from repro.workloads.profiles import NGINX
 
 #: Fig 9 uses one worker process per NGINX server and a lighter static
@@ -32,6 +38,7 @@ from repro.workloads.profiles import NGINX
 BACKEND_PROFILE = replace(
     NGINX, bytes_out=6000, app_work_ns=6000, processes=1
 )
+#: The paper's Fig 9 backend count — the default fleet size.
 N_BACKENDS = 3
 
 #: IPVS director per-request stack intensity: NAT terminates nothing but
@@ -51,49 +58,83 @@ class LbResult:
 
 
 class LoadBalancedCluster:
-    """Builds and measures the four Fig 9 configurations."""
+    """Builds and measures a director + N-backend fleet.
 
-    def __init__(self, site: CloudSite = LOCAL_CLUSTER) -> None:
+    The defaults (``n_backends=3``, the Fig 9 NGINX profile) reproduce
+    the paper's four configurations exactly; ``repro.serve`` instantiates
+    the same model with hundreds of backends and its own request mixes.
+    """
+
+    def __init__(
+        self,
+        site: CloudSite = LOCAL_CLUSTER,
+        n_backends: int = N_BACKENDS,
+        backend_profile: RequestProfile = BACKEND_PROFILE,
+    ) -> None:
+        if n_backends < 1:
+            raise ValueError(f"fleet needs >= 1 backend: {n_backends}")
         self.site = site
         self.costs = site.costs()
+        self.n_backends = n_backends
+        self.backend_profile = backend_profile
 
     # ------------------------------------------------------------------
     # Component capacities
     # ------------------------------------------------------------------
-    def backend_capacity(self, platform: Platform,
-                         direct_routing: bool = False) -> float:
-        """One NGINX backend on one vCPU."""
+    def backend_service_ns(self, platform: Platform,
+                           direct_routing: bool = False) -> float:
+        """Per-request service time of one backend on one vCPU."""
         model = ServerModel(platform, self.site, port_forwarding=False)
-        per_request = model.per_request_ns(BACKEND_PROFILE)
+        per_request = model.per_request_ns(self.backend_profile)
         if direct_routing:
             # DR backends answer directly to clients: they do the VIP's ARP
             # handling and full response transmission themselves.
             per_request *= 1.08
-        return 1e9 / per_request
+        return per_request
 
-    def ipvs_director_capacity(self, platform: Platform,
-                               mode: IpvsMode) -> float:
+    def backend_capacity(self, platform: Platform,
+                         direct_routing: bool = False) -> float:
+        """One backend server on one vCPU, in requests/sec."""
+        return 1e9 / self.backend_service_ns(platform, direct_routing)
+
+    def make_director(
+        self,
+        platform: Platform,
+        mode: IpvsMode,
+        scheduler: str = "wrr",
+    ) -> IPVS:
+        """An IPVS director on ``platform`` with the fleet registered."""
         kernel = platform.make_kernel()
         kernel.modules.load("ip_vs")
         kernel.modules.load("ip_vs_rr")
-        ipvs = IPVS(kernel.modules, mode, self.costs)
-        for i in range(N_BACKENDS):
+        ipvs = IPVS(kernel.modules, mode, self.costs, scheduler=scheduler)
+        for i in range(self.n_backends):
             ipvs.add_server(f"10.0.0.{i + 2}", 80)
-        netstack = platform.make_netstack(kernel)
+        return ipvs
+
+    def director_service_ns(self, platform: Platform,
+                            mode: IpvsMode) -> float:
+        """Per-request service time on the IPVS director."""
+        ipvs = self.make_director(platform, mode)
+        profile = self.backend_profile
+        netstack = platform.make_netstack(platform.make_kernel())
         if mode is IpvsMode.NAT:
             stack = netstack.request_response_cost_ns(
-                BACKEND_PROFILE.bytes_in,
-                BACKEND_PROFILE.bytes_out,
+                profile.bytes_in,
+                profile.bytes_out,
                 NAT_STACK_INTENSITY,
             )
         else:
             stack = netstack.request_response_cost_ns(
-                BACKEND_PROFILE.bytes_in, 0, DR_STACK_INTENSITY
+                profile.bytes_in, 0, DR_STACK_INTENSITY
             )
-        per_request = stack + ipvs.director_cost_ns(
-            BACKEND_PROFILE.bytes_in, BACKEND_PROFILE.bytes_out
+        return stack + ipvs.director_cost_ns(
+            profile.bytes_in, profile.bytes_out
         )
-        return 1e9 / per_request
+
+    def ipvs_director_capacity(self, platform: Platform,
+                               mode: IpvsMode) -> float:
+        return 1e9 / self.director_service_ns(platform, mode)
 
     # ------------------------------------------------------------------
     # The four configurations
@@ -117,7 +158,7 @@ class LoadBalancedCluster:
             backend = self.backend_capacity(xc, direct_routing=True)
         else:
             raise KeyError(f"unknown Fig 9 configuration {config!r}")
-        aggregate_backend = N_BACKENDS * backend
+        aggregate_backend = self.n_backends * backend
         throughput = min(director, aggregate_backend)
         return LbResult(
             config=config,

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 #: Fixed log-scale nanosecond buckets: 16 ns · 4^k for k in [0, 13]
 #: (16 ns … ~17 min), the span between one interpreted instruction and
@@ -182,6 +182,54 @@ class Histogram(Instrument):
             running += count
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        The standard Prometheus ``histogram_quantile`` scheme: find the
+        bucket holding the target rank and interpolate between its
+        edges.  Observations beyond the last edge (the implicit ``+Inf``
+        bucket) clamp to the last finite edge, so the estimate never
+        invents values the buckets cannot resolve.
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1): {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0
+        lower = 0.0
+        for edge, bucket_count in zip(self.buckets, self.bucket_counts):
+            if bucket_count and cum + bucket_count >= rank:
+                fraction = (rank - cum) / bucket_count
+                return lower + fraction * (edge - lower)
+            cum += bucket_count
+            lower = edge
+        return self.buckets[-1]
+
+    def merge_counts(
+        self,
+        bucket_counts: Iterable[int],
+        sum_: float,
+        count: int,
+    ) -> None:
+        """Fold pre-bucketed observations in (sharded producers).
+
+        ``bucket_counts`` must align with this histogram's edges; the
+        serve engine's worker shards bucket locally and merge here in
+        shard order, so the result is byte-identical to observing every
+        value centrally.
+        """
+        counts = list(bucket_counts)
+        if len(counts) != len(self.bucket_counts):
+            raise ValueError(
+                f"bucket mismatch: got {len(counts)} counts for "
+                f"{len(self.bucket_counts)} buckets"
+            )
+        for i, bucket_count in enumerate(counts):
+            self.bucket_counts[i] += bucket_count
+        self.sum += sum_
+        self.count += count
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,91 @@
+"""The backend-count control loop.
+
+Reads its three signals from the ``repro.obs`` registry — the interval
+p99 latency gauge, the fleet utilization gauge, and the backend count —
+and emits scale decisions under hysteresis and per-direction cooldowns:
+
+* **up** when p99 breaches ``up_p99_ms`` (latency is the user-facing
+  signal, so it alone can trigger growth);
+* **down** only when p99 is comfortably below ``down_p99_ms`` AND mean
+  utilization is below ``down_utilization`` — both, so a quiet tail on
+  a busy fleet never sheds capacity;
+* nothing while the direction's cooldown is running, which keeps the
+  loop from chasing its own spawn delay (a just-spawned backend takes
+  ``spawn_delay_ms`` to matter, and pending spawns count toward the
+  fleet size precisely so the loop sees its in-flight decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import Registry
+from repro.serve.scenario import AutoscalerPolicy
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One control action, recorded verbatim in the run report."""
+
+    t_ms: float
+    direction: str  # "up" | "down"
+    amount: int
+    reason: str
+    backends_after: int
+
+
+class Autoscaler:
+    """Hysteresis + cooldown controller over registry signals."""
+
+    def __init__(self, policy: AutoscalerPolicy, registry: Registry) -> None:
+        self.policy = policy
+        self.registry = registry
+        self._last_up_ms = float("-inf")
+        self._last_down_ms = float("-inf")
+        self.decisions: list[AutoscaleDecision] = []
+
+    def decide(self, now_ms: float) -> AutoscaleDecision | None:
+        """Evaluate the signals at a control tick; maybe act."""
+        p99_ms = self.registry.value("serve_interval_p99_ms")
+        utilization = self.registry.value("serve_fleet_utilization")
+        fleet = int(self.registry.value("serve_backends_provisioned"))
+        policy = self.policy
+        decision: AutoscaleDecision | None = None
+        if (
+            p99_ms > policy.up_p99_ms
+            and now_ms - self._last_up_ms >= policy.cooldown_up_ms
+            and fleet < policy.max_backends
+        ):
+            amount = min(policy.up_step, policy.max_backends - fleet)
+            self._last_up_ms = now_ms
+            decision = AutoscaleDecision(
+                t_ms=now_ms,
+                direction="up",
+                amount=amount,
+                reason=(
+                    f"p99 {p99_ms:.3f}ms > {policy.up_p99_ms:g}ms"
+                ),
+                backends_after=fleet + amount,
+            )
+        elif (
+            p99_ms < policy.down_p99_ms
+            and utilization < policy.down_utilization
+            and now_ms - self._last_down_ms >= policy.cooldown_down_ms
+            and fleet > policy.min_backends
+        ):
+            amount = min(policy.down_step, fleet - policy.min_backends)
+            self._last_down_ms = now_ms
+            decision = AutoscaleDecision(
+                t_ms=now_ms,
+                direction="down",
+                amount=amount,
+                reason=(
+                    f"p99 {p99_ms:.3f}ms < {policy.down_p99_ms:g}ms, "
+                    f"util {utilization:.3f} < "
+                    f"{policy.down_utilization:g}"
+                ),
+                backends_after=fleet - amount,
+            )
+        if decision is not None:
+            self.decisions.append(decision)
+        return decision

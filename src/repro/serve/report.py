@@ -1,0 +1,201 @@
+"""Deterministic rendering of a serve run.
+
+Same seed + same scenario ⇒ byte-identical ``render()`` text and
+``as_dict()`` JSON, matching the ``repro chaos`` contract: every float
+is formatted with a fixed precision, every collection is emitted in a
+deterministic order, and nothing host-dependent (worker count, wall
+clock) appears anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.engine import ServeEngine, ServeResult
+from repro.serve.scenario import ServeScenario, get_scenario
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value:.3f}"
+
+
+@dataclass
+class ServeReport:
+    """A finished run plus its two deterministic renderings."""
+
+    result: ServeResult
+
+    # -- structured ----------------------------------------------------
+    def as_dict(self) -> dict:
+        r = self.result
+        sc = r.scenario
+        return {
+            "scenario": sc.name,
+            "seed": str(r.seed),
+            "mode": sc.mode.value,
+            "scheduler": sc.scheduler,
+            "backends_initial": sc.backends,
+            "backends_final": r.backends_final,
+            "shards": sc.shards,
+            "duration_ms": round(sc.duration_ms, 3),
+            "interval_ms": round(sc.interval_ms, 3),
+            "offered_rps": round(r.offered_rps, 3),
+            "simulated_rps": round(r.simulated_rps, 3),
+            "requests": r.requests,
+            "completed": r.completed,
+            "errors": r.errors,
+            "retransmits": r.retransmits,
+            "conn_churned": r.churned,
+            "reconnects": r.reconnects,
+            "latency_ms": {
+                "p50": round(r.p50_ms, 3),
+                "p99": round(r.p99_ms, 3),
+                "p999": round(r.p999_ms, 3),
+                "mean": round(r.mean_ms, 3),
+            },
+            "slo": {
+                "p99_target_ms": sc.slo.p99_ms,
+                "recovery_window_ms": sc.slo.recovery_window_ms,
+                "chaos_window_end_ms": r.chaos_window_end_ms,
+                "recovered_at_ms": (
+                    round(r.recovered_at_ms, 3)
+                    if r.recovered_at_ms is not None else None
+                ),
+                "recovery_ms": (
+                    round(r.recovery_ms, 3)
+                    if r.recovery_ms is not None else None
+                ),
+                "ok": r.slo_ok,
+            },
+            "intervals": [
+                {
+                    "t0_ms": round(row.t0_ms, 3),
+                    "arrivals": row.arrivals,
+                    "errors": row.errors,
+                    "retransmits": row.retransmits,
+                    "p50_ms": round(row.p50_ms, 3),
+                    "p99_ms": round(row.p99_ms, 3),
+                    "utilization": round(row.utilization, 4),
+                    "alive": row.alive,
+                    "provisioned": row.provisioned,
+                    "queue_depth": round(row.queue_depth, 2),
+                }
+                for row in r.intervals
+            ],
+            "events": [
+                {"t_ms": round(event.t_ms, 3), "text": event.text}
+                for event in r.events
+            ],
+            "autoscaler": [
+                {
+                    "t_ms": round(d.t_ms, 3),
+                    "direction": d.direction,
+                    "amount": d.amount,
+                    "backends_after": d.backends_after,
+                    "reason": d.reason,
+                }
+                for d in r.decisions
+            ],
+            "faults": r.fault_counters,
+            "ipvs": {
+                "scheduled": r.ipvs_stats.scheduled,
+                "conns_opened": r.ipvs_stats.conns_opened,
+                "conns_closed": r.ipvs_stats.conns_closed,
+                "conns_failed": r.ipvs_stats.conns_failed,
+                "servers_added": r.ipvs_stats.servers_added,
+                "servers_removed": r.ipvs_stats.servers_removed,
+                "drains_started": r.ipvs_stats.drains_started,
+                "backend_deaths": r.ipvs_stats.backend_deaths,
+                "conservation_ok": r.conservation_ok,
+            },
+        }
+
+    # -- text ----------------------------------------------------------
+    def render(self) -> str:
+        r = self.result
+        sc = r.scenario
+        lines = [
+            f"serve report — scenario={sc.name} seed={r.seed}",
+            f"  mode={sc.mode.value} scheduler={sc.scheduler} "
+            f"backends={sc.backends} shards={sc.shards} "
+            f"duration={sc.duration_ms:g}ms interval={sc.interval_ms:g}ms",
+            f"  offered={r.offered_rps:.1f} req/s "
+            f"(load {sc.offered_load:g}, tail alpha {sc.tail_alpha:g}, "
+            f"keep-alive {sc.keepalive_requests})",
+            "",
+            "  interval  t0_ms   arrivals  errs  p50_ms   p99_ms   "
+            "util   alive  prov  queue",
+        ]
+        for row in r.intervals:
+            lines.append(
+                f"  {row.index:>8}  {row.t0_ms:>6.0f}  "
+                f"{row.arrivals:>8}  {row.errors:>4}  "
+                f"{_fmt_ms(row.p50_ms):>7}  {_fmt_ms(row.p99_ms):>7}  "
+                f"{row.utilization:>5.3f}  {row.alive:>5}  "
+                f"{row.provisioned:>4}  {row.queue_depth:>5.1f}"
+            )
+        lines.append("")
+        if r.events:
+            lines.append("  events:")
+            for event in r.events:
+                lines.append(f"    {event.t_ms:>7.1f}ms  {event.text}")
+            lines.append("")
+        lines.append(
+            f"  requests={r.requests} completed={r.completed} "
+            f"errors={r.errors} retransmits={r.retransmits} "
+            f"churned={r.churned} reconnects={r.reconnects}"
+        )
+        lines.append(
+            f"  latency p50={_fmt_ms(r.p50_ms)}ms "
+            f"p99={_fmt_ms(r.p99_ms)}ms p999={_fmt_ms(r.p999_ms)}ms "
+            f"mean={_fmt_ms(r.mean_ms)}ms"
+        )
+        lines.append(f"  simulated throughput {r.simulated_rps:.1f} req/s")
+        if r.chaos_window_end_ms is not None:
+            recovered = (
+                f"recovered at {_fmt_ms(r.recovered_at_ms)}ms "
+                f"(+{_fmt_ms(r.recovery_ms)}ms after the chaos window)"
+                if r.recovered_at_ms is not None
+                else "never recovered"
+            )
+            lines.append(
+                f"  slo p99<={sc.slo.p99_ms:g}ms "
+                f"window={sc.slo.recovery_window_ms:g}ms: {recovered} "
+                f"-> {'PASS' if r.slo_ok else 'FAIL'}"
+            )
+            lines.append("  faults:")
+            lines.append(
+                "    site                      occ  inj  retry  rec  fatal"
+            )
+            for site, c in sorted(r.fault_counters.items()):
+                lines.append(
+                    f"    {site:<24} {c['occurrences']:>4} "
+                    f"{c['injected']:>4} {c['retried']:>6} "
+                    f"{c['recovered']:>4} {c['fatal']:>6}"
+                )
+        else:
+            lines.append(
+                f"  slo p99<={sc.slo.p99_ms:g}ms: "
+                f"{'PASS' if r.slo_ok else 'FAIL'}"
+            )
+        s = r.ipvs_stats
+        lines.append(
+            f"  ipvs scheduled={s.scheduled} opened={s.conns_opened} "
+            f"closed={s.conns_closed} failed={s.conns_failed} "
+            f"added={s.servers_added} removed={s.servers_removed} "
+            f"deaths={s.backend_deaths} "
+            f"conservation={'ok' if r.conservation_ok else 'VIOLATED'}"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def run_serve(
+    scenario: ServeScenario | str,
+    seed: int | str = 0,
+    workers: int | None = None,
+) -> ServeReport:
+    """Run a scenario (by name or instance) and wrap it for rendering."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    result = ServeEngine(scenario, seed=seed, workers=workers).run()
+    return ServeReport(result)

@@ -79,6 +79,46 @@ class TestHistogram:
         }
         assert ratios == {4}
 
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Registry().histogram("h_ns", buckets=(10.0, 20.0, 40.0))
+        for value in (5.0, 15.0, 15.0, 35.0):
+            hist.observe(value)
+        # rank 2 of 4 sits halfway through the (10, 20] bucket.
+        assert hist.quantile(0.5) == pytest.approx(15.0)
+        # rank 1 exhausts the (0, 10] bucket: its upper edge.
+        assert hist.quantile(0.25) == pytest.approx(10.0)
+        # rank 3 exhausts the (10, 20] bucket.
+        assert hist.quantile(0.75) == pytest.approx(20.0)
+
+    def test_quantile_clamps_to_last_edge(self):
+        hist = Registry().histogram("h_ns", buckets=(10.0, 20.0))
+        hist.observe(999.0)  # beyond every finite edge
+        assert hist.quantile(0.99) == 20.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        hist = Registry().histogram("h_ns", buckets=(10.0,))
+        assert hist.quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = Registry().histogram("h_ns", buckets=(10.0,))
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.0)
+
+    def test_merge_counts_accumulates(self):
+        hist = Registry().histogram("h_ns", buckets=(10.0, 20.0))
+        hist.observe(5.0)
+        hist.merge_counts([1, 2], 45.0, 3)
+        assert hist.bucket_counts == [2, 2]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(50.0)
+
+    def test_merge_counts_rejects_shape_mismatch(self):
+        hist = Registry().histogram("h_ns", buckets=(10.0, 20.0))
+        with pytest.raises(ValueError):
+            hist.merge_counts([1], 1.0, 1)
+
 
 class TestChildScoping:
     def test_child_labels_apply_to_instruments(self):

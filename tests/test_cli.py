@@ -198,3 +198,48 @@ class TestTraceCommand:
         assert main(["trace", "--limit", "2"]) == 0
         out = capsys.readouterr().out.strip().splitlines()
         assert len(out) == 3  # header + 2 spans
+
+
+class TestServeCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["serve", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ci-small" in out
+        assert "fleet-100" in out
+        assert "fleet-nat" in out
+
+    def test_default_scenario_passes_slo(self, capsys):
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert "serve report — scenario=ci-small seed=0" in out
+        assert "PASS" in out
+        assert "conservation=ok" in out
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(SystemExit, match="unknown serve scenario"):
+            main(["serve", "fleet-9000"])
+
+    def test_json_format(self, capsys):
+        assert main(["serve", "ci-small", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "ci-small"
+        assert payload["slo"]["ok"] is True
+        assert payload["ipvs"]["conservation_ok"] is True
+        assert len(payload["intervals"]) == 12
+
+    def test_prometheus_export_has_latency_histogram(self, capsys):
+        assert main(["serve", "ci-small", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE serve_request_latency_ns histogram" in out
+        assert (
+            'serve_request_latency_ns_bucket{scenario="ci-small",'
+            'le="+Inf"}' in out
+        )
+        assert "serve_requests_total" in out
+        assert "serve_ipvs_backend_deaths_total" in out
+
+    def test_same_seed_is_byte_identical(self, capsys):
+        main(["serve", "ci-small", "--seed", "3", "--format", "json"])
+        first = capsys.readouterr().out
+        main(["serve", "ci-small", "--seed", "3", "--format", "json"])
+        assert capsys.readouterr().out == first
