@@ -52,6 +52,7 @@ SEED_BASELINE = {
     "test_e2e_http_throughput": None,
     "test_ring_batch_ablation": None,
     "test_serve_fleet_request_rate": None,
+    "test_fleet_scale_1000": None,
 }
 
 

@@ -30,6 +30,7 @@ DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_interpreter.json"
 REGRESSION_GATED = (
     "test_interpreter_instruction_rate",
     "test_serve_fleet_request_rate",
+    "test_fleet_scale_1000",
 )
 
 

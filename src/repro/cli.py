@@ -235,7 +235,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown serve scenario {args.scenario!r} (known: {known})"
         )
-    report = run_serve(args.scenario, seed=args.seed, workers=args.workers)
+    report = run_serve(
+        args.scenario, seed=args.seed, workers=args.workers,
+        engine=args.engine,
+    )
     if args.prometheus:
         _emit(args, prometheus_text(report.result.telemetry.registry))
     elif args.format == "json":
@@ -407,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker processes for the arrival shards (default: host "
              "cores; never changes results, only wall-clock speed)",
+    )
+    serve.add_argument(
+        "--engine", choices=("stepped", "hybrid"), default="hybrid",
+        help="backend-domain execution engine: 'hybrid' fast-forwards "
+             "parked domains on the wake-event queue, 'stepped' walks "
+             "every tick (the oracle; byte-identical results)",
     )
     serve.add_argument(
         "--prometheus", action="store_true",

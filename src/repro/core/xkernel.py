@@ -34,12 +34,19 @@ from repro.perf.costs import CostModel
 _KERNEL_HALF = 1 << 63
 
 
+#: x86 ``hlt``: one byte; an interrupt resumes at the next instruction.
+_HLT_OPCODE = 0xF4
+
+
 @dataclass
 class XKernelStats:
     syscalls_trapped: int = 0
     hypercalls: dict[str, int] = field(default_factory=dict)
     pt_updates: int = 0
     ud_traps: int = 0
+    #: vCPUs parked in the guest idle loop (``hlt``) / woken by an event.
+    idle_parks: int = 0
+    idle_wakes: int = 0
 
 
 class XKernel:
@@ -163,6 +170,36 @@ class XKernel:
             self.abom.fixup_rip(cpu, trap.rip)
             return
         raise trap
+
+    # ------------------------------------------------------------------
+    # Idle park / wake (the discrete-event engine's protocol)
+    # ------------------------------------------------------------------
+    def note_parked(self, cpu: CPU) -> None:
+        """Record a vCPU blocking in the guest idle loop (``hlt``).
+
+        The fleet engine (:mod:`repro.core.engine`) calls this when a
+        domain's last runnable vCPU halts; from here on the domain is
+        eligible for fast-forwarding to its next wake event.
+        """
+        if not cpu.halted:
+            raise ValueError("cannot park a running vCPU")
+        self.stats.idle_parks += 1
+
+    def resume_from_halt(self, cpu: CPU) -> bool:
+        """Deliver a wake event to a vCPU parked in ``hlt``.
+
+        Mirrors hardware: an interrupt arriving at a halted CPU resumes
+        execution at the instruction *after* the ``hlt`` (RIP was left
+        pointing at the ``hlt`` byte when the trap fired).  Returns
+        False when the vCPU was not halted (the wake raced a burst).
+        """
+        if not cpu.halted:
+            return False
+        if self.memory.read(cpu.regs.rip, 1)[0] == _HLT_OPCODE:
+            cpu.regs.rip += 1
+        cpu.halted = False
+        self.stats.idle_wakes += 1
+        return True
 
     # ------------------------------------------------------------------
     # Mode discovery (§4.2)

@@ -577,6 +577,73 @@ def _run_event_storm(ctx: ScenarioContext) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# 9. Lost wake-kicks against a parked fleet (hybrid execution engine)
+# ---------------------------------------------------------------------------
+
+
+def _plan_wake_drop(seed: int | str) -> FaultPlan:
+    return FaultPlan(
+        (
+            FaultSpec(sites.SCHED_WAKE, "drop", Every(5), limit=4),
+            FaultSpec(sites.SCHED_WAKE, "delay", Nth(12), param=3e6),
+        ),
+        seed,
+    )
+
+
+def _run_wake_drop(ctx: ScenarioContext) -> dict:
+    from repro.core.engine import ExecutionEngine
+
+    engine = ExecutionEngine(
+        hybrid=True,
+        clock=ctx.clock,
+        faults=ctx.engine,
+        sanitizer=ctx.sanitizers,
+    )
+    fleet = 6
+    for _ in range(fleet):
+        engine.spawn()
+    posted = 0
+    for domid in range(fleet):
+        for wave in range(4):
+            units = 1 + (domid + wave) % 3
+            engine.post_work(
+                domid, units, at_ns=(2 + 5 * wave + domid) * 1e6
+            )
+            posted += units
+    engine.run_until(40 * 1e6)
+    engine.run_to_quiescence()
+    ctx.check(
+        engine.stats.drops == 4 and engine.stats.delays == 1,
+        "the wake-kick drops and delays struck on schedule",
+    )
+    ctx.check(
+        engine.stats.redeliveries == engine.stats.drops
+        and engine.stats.abandoned == 0,
+        "every dropped kick was re-kicked by the bounded watchdog",
+    )
+    ctx.check(
+        engine.total_completed() == posted,
+        "every published work unit completed despite lost wakeups",
+    )
+    ctx.check(
+        engine.pending_total() == 0 and engine.n_parked == fleet,
+        "no units stranded; the whole fleet re-parked at quiescence",
+    )
+    return {
+        "domains": fleet,
+        "units_posted": posted,
+        "units_completed": engine.total_completed(),
+        "kick_drops": engine.stats.drops,
+        "kick_delays": engine.stats.delays,
+        "redeliveries": engine.stats.redeliveries,
+        "spurious_wakes": engine.stats.spurious_wakes,
+        "fastforward_ns": engine.stats.fastforward_ns,
+        "guest_instructions": engine.stats.instructions,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Catalog
 # ---------------------------------------------------------------------------
 
@@ -654,6 +721,17 @@ SCENARIOS: dict[str, Scenario] = {
             substrates=("core.abom",),
             default_plan=_plan_abom_contention,
             body=_run_abom_contention,
+        ),
+        Scenario(
+            name="wake-drop-fleet",
+            description=(
+                "wake kicks to parked fleet domains dropped and delayed "
+                "under the hybrid engine; the watchdog re-kick recovers "
+                "every lost wakeup, no unit strands"
+            ),
+            substrates=("core.engine",),
+            default_plan=_plan_wake_drop,
+            body=_run_wake_drop,
         ),
         Scenario(
             name="event-storm-blkdev",

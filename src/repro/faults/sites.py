@@ -76,6 +76,12 @@ REMUS_ACK = "xen.remus.ack"
 #: the migration cleanly.
 MIGRATION_ROUND = "xen.migration.round"
 
+#: Wake-kick delivery to a parked domain (``ExecutionEngine._deliver``):
+#: ``drop`` loses the kick (the published work stays stranded until the
+#: bounded watchdog re-kick — the classic lost-wakeup race), ``delay``
+#: defers delivery by ``param`` ns.
+SCHED_WAKE = "core.engine.wake"
+
 
 @dataclass(frozen=True)
 class SiteInfo:
@@ -115,6 +121,8 @@ SITES: dict[str, SiteInfo] = {
                  "backup acknowledgement lost"),
         SiteInfo(MIGRATION_ROUND, "xen.migration", ("dirty", "abort"),
                  "pre-copy dirty-page fault or clean abort"),
+        SiteInfo(SCHED_WAKE, "core.engine", ("drop", "delay"),
+                 "wake kick to a parked domain lost or delayed"),
     )
 }
 
@@ -126,6 +134,7 @@ CORE_SUBSTRATES = (
     "guest.netstack",
     "xen.scheduler",
     "core.abom",
+    "core.engine",
 )
 
 

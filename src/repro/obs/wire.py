@@ -337,6 +337,65 @@ def wire_scheduler(registry: Registry, scheduler: Any) -> None:
     )
 
 
+def wire_exec_engine(registry: Registry, engine: Any) -> None:
+    """``sched_*`` metrics of the discrete-event fleet engine.
+
+    Every bound value is engine-invariant (byte-identical between the
+    hybrid and the stepped oracle modes); the engine's host-side
+    ``polls`` counter is intentionally NOT exported, because it is the
+    one number the two modes legitimately disagree on.
+    """
+    stats = engine.stats
+    registry.bind(
+        "sched_fastforward_ns_total",
+        lambda: stats.fastforward_ns,
+        help="simulated idle ns skipped by fast-forwarding parked "
+             "domains to their wake events",
+    )
+    registry.bind(
+        "sched_wake_events_total",
+        lambda: stats.wake_events,
+        help="wake kicks delivered to parked domains",
+    )
+    registry.bind(
+        "sched_wake_posts_total",
+        lambda: stats.posts,
+        help="work posts published to domain mailbox rings",
+    )
+    registry.bind(
+        "sched_wake_drops_total",
+        lambda: stats.drops,
+        help="wake kicks lost to injected SCHED_WAKE drops",
+    )
+    registry.bind(
+        "sched_wake_redeliveries_total",
+        lambda: stats.redeliveries,
+        help="watchdog re-kicks scheduled after dropped wakes",
+    )
+    registry.bind(
+        "sched_wake_spurious_total",
+        lambda: stats.spurious_wakes,
+        help="kicks that found an empty mailbox (coalesced wakes)",
+    )
+    registry.bind(
+        "sched_instructions_total",
+        lambda: stats.instructions,
+        help="guest instructions retired across wake bursts",
+    )
+    registry.bind(
+        "sched_domains_parked",
+        lambda: engine.n_parked,
+        help="domains currently parked in the idle loop",
+        kind="gauge",
+    )
+    registry.bind(
+        "sched_domains",
+        lambda: engine.n_domains,
+        help="domains the engine owns (dead ones included)",
+        kind="gauge",
+    )
+
+
 # -- guest / net ------------------------------------------------------------
 
 

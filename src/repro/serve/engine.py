@@ -99,6 +99,9 @@ class ServeResult:
     recovery_ms: float | None
     slo_ok: bool
     fault_counters: dict[str, dict[str, int]]
+    #: Engine-invariant rollup of the real stepped backend domains
+    #: (:class:`repro.serve.domains.ServeDomainFleet`).
+    fleet_exec: dict | None = None
     telemetry: Telemetry | None = field(
         repr=False, compare=False, default=None
     )
@@ -112,10 +115,19 @@ class ServeEngine:
         scenario: ServeScenario,
         seed: int | str = 0,
         workers: int | None = None,
+        engine: str = "hybrid",
     ) -> None:
+        if engine not in ("stepped", "hybrid"):
+            raise ValueError(
+                f"engine must be 'stepped' or 'hybrid': {engine!r}"
+            )
         self.scenario = scenario
         self.seed = seed
         self.workers = workers
+        #: Execution engine for the real backend domains; ``hybrid``
+        #: fast-forwards parked domains, ``stepped`` is the oracle.
+        #: Results are byte-identical either way (CI compares them).
+        self.engine = engine
 
     def run(self) -> ServeResult:
         sc = self.scenario
@@ -141,6 +153,19 @@ class ServeEngine:
 
         fleet = BackendFleet(cluster, platform, sc.mode, sc.scheduler)
         self._bind_ipvs(registry, fleet)
+
+        # Every live backend is a real stepped domain on its own engine
+        # clock; the exec fleet lives in the parent process so worker
+        # sharding never touches it.
+        from repro.serve.domains import ServeDomainFleet
+
+        exec_fleet = ServeDomainFleet(
+            backend_service_ns,
+            sc.interval_ms * 1e6,
+            hybrid=self.engine == "hybrid",
+        )
+        for backend_id in fleet.alive_ids():
+            exec_fleet.ensure(backend_id)
 
         mix_cum, mix_work = mix_tables(
             tuple((c.weight, c.work) for c in sc.mix)
@@ -214,6 +239,7 @@ class ServeEngine:
 
                 ready = fleet.activate_ready(t0)
                 for backend_id in ready:
+                    exec_fleet.ensure(backend_id)
                     events.append(ServeEvent(
                         t0 / 1e6, f"backend {backend_id} warmed up"
                     ))
@@ -224,6 +250,7 @@ class ServeEngine:
                     if kill is not None and fleet.n_alive() > 1:
                         victim = chaos_rng.choice(fleet.alive_ids())
                         failed = fleet.kill(victim)
+                        exec_fleet.retire(victim)
                         kills_fired += 1
                         events.append(ServeEvent(
                             t0 / 1e6,
@@ -259,15 +286,16 @@ class ServeEngine:
                 arrivals = errors = retransmits = 0
                 busy_ns = 0.0
                 queue_ns = 0.0
+                busy_by_backend: dict[int, float] = {}
                 for shard_idx, (result, new_state) in enumerate(outcomes):
                     states[shard_idx] = new_state
                     arrivals += result.arrivals
                     errors += result.errors
                     retransmits += result.retransmits
-                    busy_ns += sum(
-                        result.busy_ns_by_backend[b]
-                        for b in sorted(result.busy_ns_by_backend)
-                    )
+                    for b in sorted(result.busy_ns_by_backend):
+                        ns = result.busy_ns_by_backend[b]
+                        busy_ns += ns
+                        busy_by_backend[b] = busy_by_backend.get(b, 0.0) + ns
                     queue_ns += result.queue_ns_end
                     interval_hist.merge_counts(
                         result.lat_bucket_counts,
@@ -297,6 +325,14 @@ class ServeEngine:
                 if chaos_engine is not None and retransmits:
                     for _ in range(retransmits):
                         chaos_engine.record_retry(sites.NET_PACKET)
+
+                # Feed the interval's busy time to the real backend
+                # domains and step/fast-forward them to the interval end.
+                for backend_id in sorted(busy_by_backend):
+                    exec_fleet.post_busy(
+                        backend_id, busy_by_backend[backend_id], t0
+                    )
+                exec_fleet.run_until(t1)
 
                 n_alive = fleet.n_alive()
                 utilization = (
@@ -423,6 +459,7 @@ class ServeEngine:
             recovery_ms=recovery_ms,
             slo_ok=slo_ok,
             fault_counters=fault_counters,
+            fleet_exec=exec_fleet.summary(),
             telemetry=telemetry,
         )
 

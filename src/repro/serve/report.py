@@ -97,6 +97,7 @@ class ServeReport:
                 for d in r.decisions
             ],
             "faults": r.fault_counters,
+            "fleet": r.fleet_exec,
             "ipvs": {
                 "scheduled": r.ipvs_stats.scheduled,
                 "conns_opened": r.ipvs_stats.conns_opened,
@@ -178,6 +179,16 @@ class ServeReport:
                 f"  slo p99<={sc.slo.p99_ms:g}ms: "
                 f"{'PASS' if r.slo_ok else 'FAIL'}"
             )
+        if r.fleet_exec is not None:
+            fe = r.fleet_exec
+            lines.append(
+                f"  fleet domains={fe['domains_spawned']} "
+                f"live={fe['domains_live']} "
+                f"units={fe['units_completed']}/{fe['units_posted']} "
+                f"wakes={fe['wake_events']} "
+                f"instructions={fe['guest_instructions']} "
+                f"fastforward={fe['fastforward_ms']:.3f}ms"
+            )
         s = r.ipvs_stats
         lines.append(
             f"  ipvs scheduled={s.scheduled} opened={s.conns_opened} "
@@ -193,9 +204,17 @@ def run_serve(
     scenario: ServeScenario | str,
     seed: int | str = 0,
     workers: int | None = None,
+    engine: str = "hybrid",
 ) -> ServeReport:
-    """Run a scenario (by name or instance) and wrap it for rendering."""
+    """Run a scenario (by name or instance) and wrap it for rendering.
+
+    ``engine`` selects how the real backend domains execute: ``hybrid``
+    fast-forwards parked domains on the event queue, ``stepped`` is the
+    tick-by-tick oracle.  The report is byte-identical either way.
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
-    result = ServeEngine(scenario, seed=seed, workers=workers).run()
+    result = ServeEngine(
+        scenario, seed=seed, workers=workers, engine=engine
+    ).run()
     return ServeReport(result)

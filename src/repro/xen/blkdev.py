@@ -163,6 +163,9 @@ class SplitBlockDriver:
         self.sanitizer = sanitizer if split else None
         self.stats = BlockStats()
         self.backend_alive = True
+        #: Optional ring waker (``ExecutionEngine.ring_waker(domid)``):
+        #: response reaps wake the frontend's parked domain.
+        self.waker = None
         self._frontend_actor = "blkfront"
         self._backend_actor = "blkback"
         self._ring_name = "blk"
@@ -286,6 +289,8 @@ class SplitBlockDriver:
         self.stats.batches += 1
         self.stats.kicks_saved += len(batch) - 1
         self._charge_batch(len(batch), total)
+        if self.waker is not None:
+            self.waker.on_ring_reap(len(batch))
         if len(batch) == 1:
             return results[0]
         return results
@@ -356,3 +361,5 @@ class SplitBlockDriver:
         self.stats.batches += 1
         self.stats.kicks_saved += len(batch) - 1
         self._charge_batch(len(batch), total)
+        if self.waker is not None:
+            self.waker.on_ring_reap(len(batch))

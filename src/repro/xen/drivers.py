@@ -117,6 +117,9 @@ class SplitNetDriver:
         self.sanitizer = sanitizer
         self.stats = RingStats()
         self.backend_alive = True
+        #: Optional ring waker (``ExecutionEngine.ring_waker(domid)``):
+        #: response reaps wake the frontend's parked domain.
+        self.waker = None
         self._in_flight = 0
         self._frontend_actor = f"dom{guest.domid}"
         self._backend_actor = f"dom{backend.domid}"
@@ -258,6 +261,9 @@ class SplitNetDriver:
         if self.clock is not None:
             self.clock.advance(cost)
         self._in_flight = max(0, self._in_flight - len(batch))
+        if self.waker is not None:
+            # The reap completes the frontend's wait: wake its domain.
+            self.waker.on_ring_reap(len(batch))
         return cost
 
     def _restart_backend(self) -> None:

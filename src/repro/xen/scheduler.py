@@ -47,9 +47,16 @@ class CreditScheduler:
         #: Optional :class:`repro.faults.plan.FaultEngine`.
         self.faults = faults
         self._vcpus: list[VCpu] = []
+        #: domid -> its vCPUs; keeps park/wake O(vCPUs of one domain)
+        #: so a 1000-domain fleet doesn't scan the world per wake event.
+        self._by_domid: dict[int, list[VCpu]] = {}
         self.switches = 0
         self.stall_events = 0
         self.storm_events = 0
+        #: Domains parked in / woken from the idle loop by the
+        #: discrete-event engine (:mod:`repro.core.engine`).
+        self.parks = 0
+        self.wakes = 0
         #: Scheduler faults auto-heal at the next interval; this carries
         #: the recovery count across the call boundary.
         self._pending_recoveries = 0
@@ -70,14 +77,44 @@ class CreditScheduler:
     def add_vcpu(self, domid: int, weight: int = 256) -> VCpu:
         vcpu = VCpu(len(self._vcpus), domid, weight)
         self._vcpus.append(vcpu)
+        self._by_domid.setdefault(domid, []).append(vcpu)
         return vcpu
 
     def remove_domain(self, domid: int) -> None:
         self._vcpus = [v for v in self._vcpus if v.domid != domid]
+        self._by_domid.pop(domid, None)
 
     @property
     def runnable(self) -> list[VCpu]:
         return [v for v in self._vcpus if v.runnable]
+
+    @property
+    def parked(self) -> list[VCpu]:
+        return [v for v in self._vcpus if not v.runnable]
+
+    # ------------------------------------------------------------------
+    # Park / wake (the discrete-event engine's blocked-vCPU protocol)
+    # ------------------------------------------------------------------
+    def park_domain(self, domid: int) -> None:
+        """All of a domain's vCPUs blocked (idle loop / event wait):
+        take them off the run queue until a wake event arrives."""
+        changed = False
+        for vcpu in self._by_domid.get(domid, ()):
+            if vcpu.runnable:
+                vcpu.runnable = False
+                changed = True
+        if changed:
+            self.parks += 1
+
+    def wake_domain(self, domid: int) -> None:
+        """A wake event landed: the domain's vCPUs re-enter the queue."""
+        changed = False
+        for vcpu in self._by_domid.get(domid, ()):
+            if not vcpu.runnable:
+                vcpu.runnable = True
+                changed = True
+        if changed:
+            self.wakes += 1
 
     # ------------------------------------------------------------------
     # Cost model

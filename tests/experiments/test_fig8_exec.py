@@ -1,0 +1,60 @@
+"""Fig 8 through the hybrid execution core.
+
+The figure's published data must be byte-identical whether the
+real-fleet sweep runs hybrid or stepped — and identical to the
+no-sweep run for the analytic table itself.
+"""
+
+from repro.experiments import fig8_scalability as fig8
+from repro.obs import prometheus_text
+from repro.obs.registry import Registry
+
+
+def _rows(result):
+    return [(row.label, row.values) for row in result.rows]
+
+
+class TestFig8ExecSweep:
+    def test_hybrid_and_stepped_publish_identical_figure_data(self):
+        hybrid_reg, stepped_reg = Registry(), Registry()
+        hybrid = fig8.run(hybrid_reg, engine="hybrid")
+        stepped = fig8.run(stepped_reg, engine="stepped")
+        assert prometheus_text(hybrid_reg) == prometheus_text(stepped_reg)
+        assert _rows(hybrid) == _rows(stepped)
+
+    def test_exec_sweep_leaves_the_analytic_table_unchanged(self):
+        plain_reg, sweep_reg = Registry(), Registry()
+        plain = fig8.run(plain_reg)
+        swept = fig8.run(sweep_reg, engine="hybrid")
+        assert _rows(plain) == _rows(swept)
+        # The sweep adds gauges, it never perturbs the curve metric.
+        for config in ("docker", "x-container"):
+            for n in fig8.N_VALUES:
+                assert sweep_reg.value(
+                    fig8.SCALABILITY_METRIC, config=config, n=n
+                ) == plain_reg.value(
+                    fig8.SCALABILITY_METRIC, config=config, n=n
+                )
+
+    def test_exec_gauges_cover_the_sweep_sizes(self):
+        registry = Registry()
+        fig8.run(registry, engine="hybrid")
+        for n in fig8.EXEC_SWEEP_N:
+            units = registry.value("experiment_fig8_exec_units", n=n)
+            expected = sum(
+                1 + (domid + wave) % 3
+                for wave in range(4)
+                for domid in range(n)
+            )
+            assert units == float(expected)
+            assert registry.value(
+                "experiment_fig8_exec_instructions", n=n
+            ) > 0
+
+    def test_unknown_engine_rejected(self):
+        try:
+            fig8.run(Registry(), engine="warp")
+        except ValueError as exc:
+            assert "engine" in str(exc)
+        else:
+            raise AssertionError("bad engine name must be rejected")

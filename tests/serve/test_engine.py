@@ -59,6 +59,17 @@ class TestDeterminism:
         b = run_serve("ci-small", seed=1).render()
         assert a != b
 
+    def test_hybrid_and_stepped_engines_are_byte_identical(self):
+        hybrid = run_serve("ci-small", seed=0, engine="hybrid")
+        stepped = run_serve("ci-small", seed=0, engine="stepped")
+        assert hybrid.render() == stepped.render()
+        assert hybrid.as_dict() == stepped.as_dict()
+        # The backend domains really executed guest code.
+        fleet = hybrid.result.fleet_exec
+        assert fleet["guest_instructions"] > 0
+        assert fleet["units_completed"] > 0
+        assert fleet["domains_spawned"] >= 4
+
     def test_catalog_is_wellformed(self):
         assert scenario_names() == ["ci-small", "fleet-100", "fleet-nat"]
         with pytest.raises(KeyError, match="unknown serve scenario"):
