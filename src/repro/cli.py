@@ -8,13 +8,14 @@
     repro abom-demo              # patch a binary live, show the bytes
     repro analyze [example]      # static §4.4 patch-safety analysis
     repro chaos [scenario]       # deterministic fault-injection scenarios
+    repro fuzz                   # stateful whole-stack scenario fuzzing
     repro sanitize [target]      # cross-vCPU sanitizer suite
     repro metrics                # telemetry demo: registry snapshot
     repro trace                  # telemetry demo: span timeline
 
-``analyze``, ``chaos``, ``sanitize``, ``metrics`` and ``trace`` share one output
-surface: ``--format {table,json}`` picks the rendering and
-``--output PATH`` redirects it to a file (default: stdout).
+``analyze``, ``chaos``, ``fuzz``, ``sanitize``, ``metrics`` and ``trace``
+share one output surface: ``--format {table,json}`` picks the rendering
+and ``--output PATH`` redirects it to a file (default: stdout).
 
 (also reachable as ``python -m repro``)
 """
@@ -28,9 +29,12 @@ import sys
 #: Exit-code contract, shown in ``repro --help``.
 EXIT_CODES = """\
 exit codes:
-  0  success (analyze: all findings safe; chaos: all scenarios recovered)
+  0  success (analyze: all findings safe; chaos: all scenarios recovered;
+     fuzz: no invariant violation found)
   1  gate failure (analyze: unsafe finding or differential mismatch;
-     chaos: unrecovered scenario or missing core-substrate coverage;
+     chaos: unrecovered scenario, missing core-substrate coverage, or a
+     --replay that violated an invariant;
+     fuzz: a shrunk failing step sequence was found;
      sanitize: any finding — or, for fixtures, a silenced checker;
      serve: SLO missed or director accounting unbalanced)
   2  usage error (unknown subcommand/argument; raised by argparse)
@@ -185,19 +189,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     Same seed + same plan ⇒ byte-identical report; exits nonzero when
     any scenario fails to recover (or, when running the whole catalog,
-    when the run misses a core substrate).
+    when the run misses a core substrate).  ``--replay steps.json``
+    re-executes a serialized fuzzer step sequence (``repro fuzz``
+    output) on a fresh world instead and prints the deterministic
+    trace; replaying the same file is byte-identical.
     """
-    from repro.faults import scenarios
+    from repro.faults.registry import get_scenario, scenario_names
     from repro.faults.report import run_scenarios
 
+    if args.replay is not None:
+        from repro.fuzz.replay import replay_steps
+        from repro.fuzz.steps import loads
+
+        with open(args.replay, encoding="utf-8") as handle:
+            world_seed, steps = loads(handle.read())
+        trace = replay_steps(steps, world_seed=world_seed)
+        _emit(args, trace)
+        return 0 if "\noutcome: clean\n" in trace else 1
     if args.list:
-        for scenario in scenarios.SCENARIOS.values():
+        for name in sorted(scenario_names()):
+            scenario = get_scenario(name)
             print(f"{scenario.name:28s} {scenario.description}")
         return 0
     names = None
     if args.scenario is not None:
-        if args.scenario not in scenarios.SCENARIOS:
-            known = ", ".join(scenarios.SCENARIOS)
+        if args.scenario not in scenario_names():
+            known = ", ".join(sorted(scenario_names()))
             raise SystemExit(
                 f"unknown scenario {args.scenario!r} (known: {known})"
             )
@@ -263,9 +280,9 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.sanitize import FIXTURES, run_sanitize
 
     if args.list:
-        from repro.faults import scenarios
+        from repro.faults.registry import scenario_names
 
-        for name in scenarios.names():
+        for name in scenario_names():
             print(f"chaos:{name}")
         for name in ("nginx", "memcached", "redis", "scaleout"):
             print(f"workload:{name}")
@@ -286,6 +303,30 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
         # The inverted gate: every seeded race must still be caught.
         return 0 if all(not u.clean for u in report.units) else 1
     return 0 if report.clean else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Stateful whole-stack fuzzing: a bounded, seeded Hypothesis run.
+
+    The rule machine drives domains, migration, Remus, ABOM, split
+    drivers, fault arm/disarm, and the fleet engines at once, checking
+    the invariant catalog after every step.  Same ``--seed`` ⇒ same
+    result.  On a find, the shrunk step sequence is printed as JSON —
+    save it and re-execute with ``repro chaos --replay steps.json``.
+    """
+    from repro.fuzz.machine import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        max_examples=args.max_examples,
+        steps=args.steps,
+        defect=args.defect,
+    )
+    if args.format == "json":
+        _emit(args, _json_text(report.as_dict()))
+    else:
+        _emit(args, report.render())
+    return 0 if report.ok else 1
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -392,7 +433,36 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--list", action="store_true", help="list the scenario catalog"
     )
+    chaos.add_argument(
+        "--replay", metavar="STEPS_JSON", default=None,
+        help="replay a serialized fuzzer step sequence (repro fuzz "
+             "output) on a fresh world and print the deterministic trace",
+    )
     chaos.set_defaults(func=cmd_chaos)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="stateful whole-stack scenario fuzzing (Hypothesis)",
+        parents=[common_output],
+    )
+    fuzz.add_argument(
+        "--seed", default="0",
+        help="fuzz seed (int or string); same seed reruns the same "
+             "example sequence byte-identically",
+    )
+    fuzz.add_argument(
+        "--max-examples", type=int, default=25,
+        help="Hypothesis example budget (default: 25)",
+    )
+    fuzz.add_argument(
+        "--steps", type=int, default=30,
+        help="max rule steps per example (default: 30)",
+    )
+    fuzz.add_argument(
+        "--defect", choices=("blk-lost-write", "fleet-skew"), default=None,
+        help="enable a known seeded defect (self-test: the fuzzer must "
+             "find and shrink it)",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     serve = sub.add_parser(
         "serve", help="run a serving-fleet scenario (IPVS + autoscaler)",

@@ -530,6 +530,19 @@ class ExecutionEngine:
             total += self._domains[domid].pending_units
         return total
 
+    def queued_wakes(self, domid: int | None = None) -> int:
+        """Wake kicks currently queued (optionally for one domain).
+
+        The wake-queue consistency invariant: a live domain with
+        published-but-unconsumed mailbox units must have at least one
+        kick (original, delayed, or watchdog redelivery) still queued,
+        or its work is stranded — the lost-wakeup bug class the
+        SCHED_WAKE site exists to exercise.
+        """
+        if domid is None:
+            return len(self._heap)
+        return sum(1 for event in self._heap if event[2] == domid)
+
     def snapshot(self) -> dict:
         """Deterministic, engine-invariant state summary.
 

@@ -12,6 +12,11 @@ repository *tests* that claim instead of asserting it.  It provides:
   frontends adopt so injected faults are survivable;
 * :mod:`~repro.faults.chaos` / :mod:`~repro.faults.scenarios` — named
   failure scenarios with recovery invariants;
+* :mod:`~repro.faults.registry` — the decorator-based scenario registry
+  (:func:`~repro.faults.registry.scenario`,
+  :func:`~repro.faults.registry.register`,
+  :func:`~repro.faults.registry.get_scenario`) that replaced the old
+  module-level ``SCENARIOS`` dict (kept as a deprecation shim);
 * :mod:`~repro.faults.report` — the ``repro chaos`` run report.
 
 Only the light pieces are imported eagerly (substrates import site names
@@ -29,6 +34,13 @@ from repro.faults.plan import (
     SiteCounters,
     TimeWindow,
 )
+from repro.faults.registry import (
+    get_scenario,
+    list_scenarios,
+    register,
+    scenario,
+    scenario_names,
+)
 from repro.faults.retry import RetryExhausted, RetryPolicy
 
 __all__ = [
@@ -43,4 +55,9 @@ __all__ = [
     "RetryPolicy",
     "SiteCounters",
     "TimeWindow",
+    "get_scenario",
+    "list_scenarios",
+    "register",
+    "scenario",
+    "scenario_names",
 ]

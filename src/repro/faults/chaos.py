@@ -17,12 +17,15 @@ chaos failure replayable with ``repro chaos --seed S``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.faults.plan import FaultEngine, FaultPlan, SiteCounters
 from repro.faults.retry import RetryExhausted
 from repro.perf.clock import SimClock
 from repro.perf.rand import DeterministicRng
+
+if TYPE_CHECKING:
+    from repro.fuzz.steps import Step
 
 
 class InvariantViolation(AssertionError):
@@ -63,6 +66,45 @@ class Scenario:
     default_plan: Callable[[int | str], FaultPlan]
     #: Drives the substrates; returns deterministic result details.
     body: Callable[[ScenarioContext], dict]
+
+    @classmethod
+    def from_steps(
+        cls,
+        name: str,
+        description: str,
+        steps: Iterable[Step],
+        substrates: Iterable[str] = (),
+        world_seed: int | str = 0,
+    ) -> "Scenario":
+        """Build a scenario from a serialized fuzzer step sequence.
+
+        The declarative constructor over the same :class:`Step` type the
+        stateful fuzzer (:mod:`repro.fuzz`) emits: the body replays the
+        steps through a :class:`~repro.fuzz.world.FuzzWorld` wired to the
+        scenario context's clock, fault engine, and sanitizers, checking
+        the full fuzz invariant set after every step.  Promoted shrunk
+        failures become first-class catalog entries this way — register
+        the result with :func:`repro.faults.registry.register`.
+
+        The default plan is empty: faults enter through ``inject_fault``
+        steps, which :meth:`~repro.faults.plan.FaultEngine.arm` specs on
+        the context's engine so injections land in the chaos report like
+        any hand-written scenario's.
+        """
+        step_tuple = tuple(steps)
+
+        def body(ctx: ScenarioContext) -> dict:
+            from repro.fuzz.replay import run_steps_in_context
+
+            return run_steps_in_context(ctx, step_tuple, world_seed)
+
+        return cls(
+            name=name,
+            description=description,
+            substrates=tuple(substrates),
+            default_plan=lambda seed: FaultPlan((), seed),
+            body=body,
+        )
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ counter and the simulated clock.  Same seed + same plan + same workload
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.faults import sites
 from repro.perf.clock import SimClock
@@ -233,14 +234,61 @@ class FaultEngine:
         #: Optional :class:`repro.perf.trace.Tracer`; events carry the
         #: ``fault`` category with names injected/retried/recovered/fatal.
         self.tracer = tracer
-        root = DeterministicRng(plan.seed)
+        self._root = DeterministicRng(plan.seed)
         self._injectors: dict[str, list[_Injector]] = {}
-        for index, spec in enumerate(plan.specs):
-            stream = root.fork(f"{index}:{spec.site}:{spec.kind}")
-            self._injectors.setdefault(spec.site, []).append(
-                _Injector(spec, stream)
-            )
+        self._n_specs = 0
+        for spec in plan.specs:
+            self._attach(spec)
         self._state = _EngineState()
+
+    def _attach(self, spec: FaultSpec) -> _Injector:
+        """Arm one spec with its deterministic per-spec RNG stream.
+
+        The fork label depends only on the arrival index, site, and kind,
+        so a compiled plan and the same specs :meth:`arm`-ed one by one
+        produce identical probability draws.
+        """
+        stream = self._root.fork(f"{self._n_specs}:{spec.site}:{spec.kind}")
+        injector = _Injector(spec, stream)
+        self._injectors.setdefault(spec.site, []).append(injector)
+        self._n_specs += 1
+        return injector
+
+    # ------------------------------------------------------------------
+    # Dynamic (re)arming — the stateful fuzzer's inject/clear rules
+    # ------------------------------------------------------------------
+    def arm(self, spec: FaultSpec) -> None:
+        """Add a spec to the live engine (after ``compile``).
+
+        Deterministic by construction: the new injector's RNG stream is
+        forked from the plan seed using the same labeling scheme as
+        compile-time specs, so any arm *sequence* replays identically.
+        Occurrence counters are per-site and keep counting across
+        arm/disarm, so ``Nth``/``Every`` triggers see the site's full
+        history.
+        """
+        self._attach(spec)
+
+    def disarm(self, site: str | None = None) -> int:
+        """Remove armed injectors (``site=None`` clears every site).
+
+        Returns the number of injectors removed.  Lifecycle counters and
+        per-site occurrence counts are preserved — disarming stops future
+        injections without rewriting history.
+        """
+        if site is not None:
+            return len(self._injectors.pop(site, []))
+        removed = sum(len(v) for v in self._injectors.values())
+        self._injectors.clear()
+        return removed
+
+    def armed_specs(self) -> tuple[FaultSpec, ...]:
+        """Currently armed specs, in deterministic (site, arm) order."""
+        return tuple(
+            injector.spec
+            for site in sorted(self._injectors)
+            for injector in self._injectors[site]
+        )
 
     # ------------------------------------------------------------------
     # Injection

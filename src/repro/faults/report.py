@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.faults import scenarios as _scenarios
+from repro.faults.registry import get_scenario, scenario_names
 from repro.faults.chaos import ChaosHarness, ScenarioResult
 from repro.faults.sites import CORE_SUBSTRATES
 
@@ -133,8 +133,8 @@ def run_scenarios(
 ) -> ChaosReport:
     """Run the named scenarios (default: the whole catalog) under ``seed``."""
     harness = ChaosHarness(seed)
-    selected = names if names is not None else _scenarios.names()
+    selected = names if names is not None else scenario_names()
     results = tuple(
-        harness.run(_scenarios.get(name)) for name in selected
+        harness.run(get_scenario(name)) for name in selected
     )
     return ChaosReport(seed=seed, results=results)

@@ -10,7 +10,7 @@ exponential backoff to the simulated clock, and reports the lifecycle
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, TypeVar
+from typing import Any, Callable, TypeVar
 
 from repro.perf.clock import SimClock
 

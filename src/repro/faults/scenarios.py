@@ -17,6 +17,8 @@ whole run replays byte-identically from ``repro chaos --seed S``.
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Iterator, Mapping
 from typing import Any
 
 from repro.faults import sites
@@ -647,9 +649,11 @@ def _run_wake_drop(ctx: ScenarioContext) -> dict:
 # Catalog
 # ---------------------------------------------------------------------------
 
-SCENARIOS: dict[str, Scenario] = {
-    scenario.name: scenario
-    for scenario in (
+def _build_catalog() -> tuple[Scenario, ...]:
+    """The shipped scenarios, in catalog (registration) order."""
+    from repro.fuzz.steps import step
+
+    return (
         Scenario(
             name="backend-death-memcached",
             description=(
@@ -743,17 +747,108 @@ SCENARIOS: dict[str, Scenario] = {
             default_plan=_plan_event_storm,
             body=_run_event_storm,
         ),
+        # Promoted from a shrunk repro.fuzz counterexample candidate: the
+        # step sequence is the scenario (Scenario.from_steps), so it runs
+        # through the same FuzzWorld + invariant set the fuzzer uses.
+        Scenario.from_steps(
+            name="fuzz-notify-drop-burst",
+            description=(
+                "promoted fuzzer step sequence: two dropped event kicks "
+                "inside an unbatched transmit burst, then a clean batched "
+                "burst after disarm; the full fuzz invariant set holds"
+            ),
+            steps=(
+                step("spawn", memory_mb=128, lightvm=True),
+                step(
+                    "inject_fault",
+                    name="notify-drop",
+                    mode="every",
+                    n=2,
+                    limit=2,
+                ),
+                # Unbatched on purpose: each transmit sends its own event
+                # kick, so Every(2) actually lands (a batched burst sends
+                # ONE kick for the whole train and would starve the spec).
+                step("net_burst", count=6, size=1500, batched=False),
+                step("clear_faults", name="notify-drop"),
+                step("net_burst", count=4, size=700, batched=True),
+            ),
+            substrates=("xen.events",),
+            world_seed=0,
+        ),
     )
-}
+
+
+def _register_catalog() -> None:
+    from repro.faults.registry import register
+
+    for scenario in _build_catalog():
+        register(scenario)
+
+
+_register_catalog()
+
+
+# ---------------------------------------------------------------------------
+# Deprecated module-level catalog API (pre-registry).  New call sites use
+# repro.faults.registry; these shims keep old code working unchanged.
+# ---------------------------------------------------------------------------
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.faults.scenarios.{old} is deprecated; use "
+        f"repro.faults.registry.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _DeprecatedCatalog(Mapping[str, Scenario]):
+    """Read-only view of the registry, kept for ``SCENARIOS[...]`` users.
+
+    Emits a :class:`DeprecationWarning` per access; iteration order is
+    registration order, exactly like the old dict literal.
+    """
+
+    def __getitem__(self, name: str) -> Scenario:
+        _warn_deprecated("SCENARIOS[...]", "get_scenario(name)")
+        from repro.faults.registry import get_scenario
+
+        return get_scenario(name)
+
+    def __iter__(self) -> Iterator[str]:
+        _warn_deprecated("SCENARIOS", "scenario_names()")
+        from repro.faults.registry import scenario_names
+
+        return iter(scenario_names())
+
+    def __len__(self) -> int:
+        from repro.faults.registry import scenario_names
+
+        return len(scenario_names())
+
+    def __repr__(self) -> str:
+        from repro.faults.registry import scenario_names
+
+        return f"<deprecated scenario catalog: {', '.join(scenario_names())}>"
+
+
+#: Deprecated — use :func:`repro.faults.registry.list_scenarios`.
+SCENARIOS: Mapping[str, Scenario] = _DeprecatedCatalog()
 
 
 def names() -> list[str]:
-    return list(SCENARIOS)
+    """Deprecated — use :func:`repro.faults.registry.scenario_names`."""
+    _warn_deprecated("names()", "scenario_names()")
+    from repro.faults.registry import scenario_names
+
+    return list(scenario_names())
 
 
 def get(name: str) -> Scenario:
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        known = ", ".join(SCENARIOS)
-        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+    """Deprecated — use :func:`repro.faults.registry.get_scenario`."""
+    _warn_deprecated("get()", "get_scenario(name)")
+    from repro.faults.registry import get_scenario
+
+    return get_scenario(name)

@@ -1,0 +1,79 @@
+"""Fuzz-session report (the ``repro fuzz`` output surface).
+
+Rendering follows the ``chaos``/``sanitize`` conventions: a fixed-width
+table for humans, :meth:`FuzzReport.as_dict` for ``--format json``, and
+byte-identical output for the same inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one :func:`repro.fuzz.machine.run_fuzz` session."""
+
+    seed: int | str
+    max_examples: int
+    step_budget: int
+    #: Defect hook that was enabled ("" = none; the honest stack).
+    defect: str
+    #: Rule kinds the machine covers / invariants checked per step.
+    rules: int
+    invariants: int
+    #: First line of the failing invariant ("" = no failure found).
+    failure: str = ""
+    #: Length of the shrunk counterexample (0 = none).
+    shrunk_steps: int = 0
+    #: Canonical JSON of the shrunk steps (``repro chaos --replay``).
+    steps_json: str = ""
+    #: Whether two fresh replays of the shrunk steps produced
+    #: byte-identical traces (must be True for a credible find).
+    replay_identical: bool = False
+    #: Deterministic replay trace of the shrunk sequence.
+    replay_trace: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.failure == ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "max_examples": self.max_examples,
+            "step_budget": self.step_budget,
+            "defect": self.defect,
+            "rules": self.rules,
+            "invariants": self.invariants,
+            "ok": self.ok,
+            "failure": self.failure,
+            "shrunk_steps": self.shrunk_steps,
+            "steps_json": self.steps_json,
+            "replay_identical": self.replay_identical,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"stateful fuzz  seed={self.seed}  "
+            f"examples={self.max_examples}  steps<={self.step_budget}",
+            f"  rule kinds: {self.rules}   invariants: {self.invariants}"
+            + (f"   defect: {self.defect}" if self.defect else ""),
+        ]
+        if self.ok:
+            lines.append("  result: clean (no invariant violation found)")
+        else:
+            lines.append(f"  result: FAILED — {self.failure}")
+            lines.append(
+                f"  shrunk to {self.shrunk_steps} step(s); replay "
+                + (
+                    "byte-identical"
+                    if self.replay_identical
+                    else "NOT byte-identical (unstable repro!)"
+                )
+            )
+            lines.append("  steps (save as steps.json for --replay):")
+            for row in self.steps_json.rstrip("\n").splitlines():
+                lines.append("    " + row)
+        return "\n".join(lines) + "\n"

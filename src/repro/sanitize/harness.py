@@ -26,15 +26,15 @@ def sanitize_chaos(
     seed: int | str = 0, names: list[str] | None = None
 ) -> list[SanitizeUnit]:
     """Run the chaos catalog under ``seed`` with all sanitizers attached."""
-    from repro.faults import scenarios
     from repro.faults.chaos import ChaosHarness
+    from repro.faults.registry import get_scenario, scenario_names
 
     harness = ChaosHarness(seed)
-    selected = names if names is not None else scenarios.names()
+    selected = names if names is not None else scenario_names()
     units = []
     for name in selected:
         suite = SanitizerSuite()
-        result = harness.run(scenarios.get(name), sanitizers=suite)
+        result = harness.run(get_scenario(name), sanitizers=suite)
         suite.finish()
         units.append(
             SanitizeUnit(

@@ -1,0 +1,70 @@
+"""The on-disk regression catalog of shrunk fuzzer step sequences.
+
+Each ``tests/faults/regressions/*.json`` is a shrunk counterexample the
+fuzzer found against a seeded defect hook, serialized canonically.  The
+gate asserts, per file and on fixed world seeds:
+
+* the file is in canonical form (load → dumps is byte-identical);
+* two fresh replays are byte-identical (the repro is stable);
+* the honest stack replays it *clean* — the defect is fixed/gated;
+* re-enabling the matching defect still reproduces the violation
+  (the regression file actually pins the bug it was minimized from).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.replay import replay_steps
+from repro.fuzz.steps import dumps, loads
+
+REGRESSIONS = Path(__file__).parent / "regressions"
+
+#: file stem -> the seeded defect hook the sequence was shrunk against.
+DEFECT_OF = {
+    "blk_lost_write": "blk-lost-write",
+    "fleet_skew": "fleet-skew",
+}
+
+
+def _files():
+    return sorted(REGRESSIONS.glob("*.json"))
+
+
+def test_catalog_has_the_required_sequences():
+    stems = [path.stem for path in _files()]
+    assert len(stems) >= 2
+    assert set(DEFECT_OF) <= set(stems)
+
+
+@pytest.mark.parametrize("path", _files(), ids=lambda p: p.stem)
+class TestRegressionFiles:
+    def test_file_is_canonical(self, path):
+        text = path.read_text()
+        world_seed, steps = loads(text)
+        assert dumps(steps, world_seed=world_seed) == text
+
+    def test_replay_is_byte_identical(self, path):
+        world_seed, steps = loads(path.read_text())
+        first = replay_steps(steps, world_seed=world_seed)
+        second = replay_steps(steps, world_seed=world_seed)
+        assert first == second
+
+    def test_honest_stack_replays_clean(self, path):
+        world_seed, steps = loads(path.read_text())
+        trace = replay_steps(steps, world_seed=world_seed)
+        assert "\noutcome: clean\n" in trace, trace
+
+    def test_defect_still_reproduces(self, path):
+        defect = DEFECT_OF[path.stem]
+        world_seed, steps = loads(path.read_text())
+        first = replay_steps(steps, world_seed=world_seed, defect=defect)
+        second = replay_steps(steps, world_seed=world_seed, defect=defect)
+        assert "outcome: invariant-violated" in first, first
+        assert first == second  # the failing replay is stable too
+
+    def test_cli_replay_gate(self, path, capsys):
+        assert main(["chaos", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "outcome: clean" in out

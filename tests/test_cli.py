@@ -101,9 +101,109 @@ class TestChaosCommand:
         assert "backend-death-memcached" in out
         assert "abom-cmpxchg-contention" in out
 
+    def test_list_is_sorted_by_name(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        names = [
+            line.split()[0]
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        assert names == sorted(names)
+
     def test_unknown_scenario_errors(self):
         with pytest.raises(SystemExit, match="unknown scenario"):
             main(["chaos", "nonesuch"])
+
+    def test_unknown_scenario_error_lists_names_sorted(self):
+        with pytest.raises(SystemExit) as caught:
+            main(["chaos", "nonesuch"])
+        message = str(caught.value)
+        listed = message.split("known: ")[1].split(", ")
+        assert listed == sorted(listed)
+        assert "fuzz-notify-drop-burst" in listed
+
+    def test_replay_of_serialized_steps(self, tmp_path, capsys):
+        from repro.fuzz.steps import dumps, step
+
+        path = tmp_path / "steps.json"
+        path.write_text(
+            dumps(
+                (
+                    step("spawn", memory_mb=64, lightvm=True),
+                    step("net_burst", count=2, size=10, batched=False),
+                ),
+                world_seed=4,
+            )
+        )
+        assert main(["chaos", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz world seed=4 steps=2" in out
+        assert "outcome: clean" in out
+
+    def test_replay_is_byte_identical(self, tmp_path, capsys):
+        from repro.fuzz.steps import dumps, step
+
+        path = tmp_path / "steps.json"
+        path.write_text(
+            dumps((step("remus_epoch", dirty_pages=5, packets=1),))
+        )
+        main(["chaos", "--replay", str(path)])
+        first = capsys.readouterr().out
+        main(["chaos", "--replay", str(path)])
+        assert capsys.readouterr().out == first
+
+    def test_replay_rejects_malformed_file(self, tmp_path):
+        path = tmp_path / "steps.json"
+        path.write_text('{"version": 99, "steps": []}')
+        with pytest.raises(ValueError, match="version"):
+            main(["chaos", "--replay", str(path)])
+
+
+class TestFuzzCommand:
+    def test_clean_bounded_run_exits_zero(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "0", "--max-examples", "3", "--steps", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "result: clean" in out
+        assert "rule kinds: 14" in out
+
+    def test_json_format(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "0", "--max-examples", "2", "--steps", "8",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["rules"] >= 8
+        assert payload["invariants"] >= 5
+
+    def test_seeded_defect_is_found_and_exits_one(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "7", "--max-examples", "15", "--steps", "15",
+             "--defect", "blk-lost-write"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "replay byte-identical" in out
+        assert '"op": "blk_burst"' in out
+
+    def test_fuzz_steps_feed_chaos_replay(self, tmp_path, capsys):
+        assert main(
+            ["fuzz", "--seed", "7", "--max-examples", "15", "--steps", "15",
+             "--defect", "blk-lost-write", "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        path = tmp_path / "steps.json"
+        path.write_text(payload["steps_json"])
+        # Honest stack (no defect hook): the sequence replays clean.
+        assert main(["chaos", "--replay", str(path)]) == 0
+
+    def test_exit_codes_mention_fuzz(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "fuzz: no invariant violation found" in out
 
     def test_json_format(self, capsys):
         assert main(
@@ -143,7 +243,7 @@ class TestSharedOutputSurface:
 
     def test_every_subcommand_accepts_the_shared_flags(self):
         parser = build_parser()
-        for command in ("analyze", "chaos", "metrics", "trace"):
+        for command in ("analyze", "chaos", "fuzz", "metrics", "trace"):
             args = parser.parse_args([command, "--format", "json"])
             assert args.format == "json"
             assert args.output is None
